@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the estimators: adjusted-weight computation over
+//! dispersed and colocated summaries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cws_bench::micro_dataset;
+use cws_core::aggregates::AggregateFn;
+use cws_core::coordination::CoordinationMode;
+use cws_core::estimate::colocated::{InclusiveEstimator, PlainEstimator};
+use cws_core::estimate::dispersed::{DispersedEstimator, SelectionKind};
+use cws_core::ranks::RankFamily;
+use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+
+fn bench_dispersed_estimators(c: &mut Criterion) {
+    let data = micro_dataset();
+    let mut group = c.benchmark_group("dispersed_estimators");
+    for k in [256usize, 2048] {
+        let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 11);
+        let summary = DispersedSummary::build(&data, &config);
+        let relevant = [0usize, 1, 2];
+        group.bench_with_input(BenchmarkId::new("max", k), &k, |b, _| {
+            b.iter(|| black_box(DispersedEstimator::new(&summary).max(&relevant).unwrap().total()));
+        });
+        group.bench_with_input(BenchmarkId::new("min_l", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    DispersedEstimator::new(&summary)
+                        .min(&relevant, SelectionKind::LSet)
+                        .unwrap()
+                        .total(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("l1_l", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    DispersedEstimator::new(&summary)
+                        .l1(&relevant, SelectionKind::LSet)
+                        .unwrap()
+                        .total(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_colocated_estimators(c: &mut Criterion) {
+    let data = micro_dataset();
+    let mut group = c.benchmark_group("colocated_estimators");
+    for k in [256usize, 2048] {
+        let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 11);
+        let summary = ColocatedSummary::build(&data, &config);
+        group.bench_with_input(BenchmarkId::new("inclusive_single", k), &k, |b, _| {
+            b.iter(|| black_box(InclusiveEstimator::new(&summary).single(0).unwrap().total()));
+        });
+        group.bench_with_input(BenchmarkId::new("inclusive_l1", k), &k, |b, _| {
+            b.iter(|| black_box(InclusiveEstimator::new(&summary).l1(&[0, 2]).unwrap().total()));
+        });
+        group.bench_with_input(BenchmarkId::new("plain_single", k), &k, |b, _| {
+            b.iter(|| black_box(PlainEstimator::new(&summary).single(0).unwrap().total()));
+        });
+        group.bench_with_input(BenchmarkId::new("inclusive_custom_fn", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    InclusiveEstimator::new(&summary)
+                        .aggregate(&AggregateFn::LthLargest {
+                            assignments: vec![0, 1, 2],
+                            ell: 2,
+                        })
+                        .unwrap()
+                        .total(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispersed_estimators, bench_colocated_estimators);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end regeneration of the paper's tables and figures (smoke scale)
+//! under Criterion timing.
+//!
+//! These benches keep the full experiment pipeline (data generation →
+//! repeated sampling → estimation → reporting) exercised by `cargo bench`;
+//! the publication-scale numbers are produced by the `experiments` binary
+//! (`cargo run --release -p cws-bench --bin experiments -- all --scale full`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cws_eval::datasets::DatasetScale;
+use cws_eval::experiments::{available_experiments, run_experiment};
+
+fn bench_paper_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    for id in ["table2", "table3", "table4", "thm4_1"] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_figures_smoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_smoke");
+    group.sample_size(10);
+    // One representative figure per family keeps `cargo bench` tractable
+    // while every experiment id remains runnable through the binary.
+    for id in ["fig3", "fig8", "fig9", "fig12", "fig17", "ablation_rankfamily"] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry_completeness(c: &mut Criterion) {
+    // Not a timing-sensitive bench, but keeps the registry listed in bench
+    // output so the mapping experiment-id → bench target stays visible.
+    c.bench_function("experiment_registry_size", |b| {
+        b.iter(|| black_box(available_experiments().len()));
+    });
+}
+
+criterion_group!(benches, bench_paper_tables, bench_figures_smoke, bench_registry_completeness);
+criterion_main!(benches);

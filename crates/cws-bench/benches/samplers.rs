@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the sampling substrate: rank generation, single-pass
+//! bottom-k sampling, and multi-assignment summary construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cws_bench::micro_dataset;
+use cws_core::coordination::{CoordinationMode, RankGenerator};
+use cws_core::ranks::RankFamily;
+use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+use cws_stream::{ColocatedStreamSampler, DispersedStreamSampler};
+
+fn bench_rank_generation(c: &mut Criterion) {
+    let data = micro_dataset();
+    let mut group = c.benchmark_group("rank_generation");
+    group.throughput(Throughput::Elements(data.num_keys() as u64));
+    for (name, family, mode) in [
+        ("ipps/shared-seed", RankFamily::Ipps, CoordinationMode::SharedSeed),
+        ("ipps/independent", RankFamily::Ipps, CoordinationMode::Independent),
+        ("exp/shared-seed", RankFamily::Exp, CoordinationMode::SharedSeed),
+        ("exp/independent-differences", RankFamily::Exp, CoordinationMode::IndependentDifferences),
+    ] {
+        let generator = RankGenerator::new(family, mode, 7).expect("valid combination");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (key, weights) in data.iter() {
+                    let ranks = generator.rank_vector(key, weights);
+                    acc += ranks[0].min(1e9);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_samplers(c: &mut Criterion) {
+    let data = micro_dataset();
+    let mut group = c.benchmark_group("stream_samplers");
+    group.throughput(Throughput::Elements(data.num_keys() as u64));
+    for k in [64usize, 1024] {
+        let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        group.bench_with_input(BenchmarkId::new("dispersed", k), &k, |b, _| {
+            b.iter(|| {
+                let mut sampler = DispersedStreamSampler::new(config, data.num_assignments());
+                for (key, weights) in data.iter() {
+                    for (assignment, &weight) in weights.iter().enumerate() {
+                        sampler.push(assignment, key, weight).expect("valid assignment");
+                    }
+                }
+                black_box(sampler.finalize().num_distinct_keys())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("colocated", k), &k, |b, _| {
+            b.iter(|| {
+                let mut sampler = ColocatedStreamSampler::new(config, data.num_assignments());
+                for (key, weights) in data.iter() {
+                    sampler.push(key, weights);
+                }
+                black_box(sampler.finalize().num_distinct_keys())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_summaries(c: &mut Criterion) {
+    let data = micro_dataset();
+    let mut group = c.benchmark_group("offline_summaries");
+    group.sample_size(20);
+    for k in [64usize, 1024] {
+        let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        group.bench_with_input(BenchmarkId::new("dispersed_build", k), &k, |b, _| {
+            b.iter(|| black_box(DispersedSummary::build(&data, &config).num_distinct_keys()));
+        });
+        group.bench_with_input(BenchmarkId::new("colocated_build", k), &k, |b, _| {
+            b.iter(|| black_box(ColocatedSummary::build(&data, &config).num_distinct_keys()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_generation, bench_stream_samplers, bench_offline_summaries);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmark fixtures shared by the Criterion benches and the experiment
+//! regeneration binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cws_core::weights::MultiWeighted;
+use cws_data::synthetic::correlated_zipf;
+
+/// A medium, skewed, three-assignment data set used by the micro-benchmarks.
+#[must_use]
+pub fn micro_dataset() -> MultiWeighted {
+    correlated_zipf(50_000, 3, 1.1, 0.8, 0.2, 0xBE7C)
+}
+
+/// A small data set for fast benchmark smoke tests.
+#[must_use]
+pub fn tiny_dataset() -> MultiWeighted {
+    correlated_zipf(2_000, 3, 1.1, 0.8, 0.2, 0xBE7C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_shape() {
+        let tiny = tiny_dataset();
+        assert_eq!(tiny.num_keys(), 2_000);
+        assert_eq!(tiny.num_assignments(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the coordinated weighted sampling library.
+
+use std::fmt;
+
+/// Result alias using [`CwsError`].
+pub type Result<T> = std::result::Result<T, CwsError>;
+
+/// Errors produced by the sampling and estimation routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CwsError {
+    /// The requested estimator does not exist for this configuration.
+    ///
+    /// The canonical example from the paper: there is no nonnegative unbiased
+    /// estimator for `max` or `L1` over *independent* sketches when seeds are
+    /// unknown (Section 9.2, footnote 3).
+    UnsupportedEstimator {
+        /// The estimator that was requested.
+        estimator: &'static str,
+        /// Why the configuration cannot support it.
+        reason: &'static str,
+    },
+    /// An assignment index was out of range for the data set or summary.
+    AssignmentOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of assignments available.
+        available: usize,
+    },
+    /// A set of relevant assignments `R` was empty.
+    EmptyAssignmentSet,
+    /// A parameter had an invalid value (negative weight, zero sample size…).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The independent-differences construction requires EXP ranks.
+    IndependentDifferencesRequiresExp,
+    /// ℓ (top-ℓ dependence order) was outside `1..=|R|`.
+    InvalidDependenceOrder {
+        /// The requested ℓ.
+        ell: usize,
+        /// The size of the relevant assignment set.
+        relevant: usize,
+    },
+}
+
+impl fmt::Display for CwsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CwsError::UnsupportedEstimator { estimator, reason } => {
+                write!(f, "estimator `{estimator}` is not supported: {reason}")
+            }
+            CwsError::AssignmentOutOfRange { index, available } => write!(
+                f,
+                "assignment index {index} out of range (only {available} assignments)"
+            ),
+            CwsError::EmptyAssignmentSet => {
+                write!(f, "the set of relevant assignments must not be empty")
+            }
+            CwsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            CwsError::IndependentDifferencesRequiresExp => write!(
+                f,
+                "independent-differences consistent ranks are only defined for EXP ranks"
+            ),
+            CwsError::InvalidDependenceOrder { ell, relevant } => write!(
+                f,
+                "dependence order ell={ell} must lie in 1..={relevant}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CwsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CwsError::AssignmentOutOfRange { index: 5, available: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+
+        let e = CwsError::UnsupportedEstimator { estimator: "max", reason: "independent sketches" };
+        assert!(e.to_string().contains("max"));
+
+        let e = CwsError::InvalidParameter { name: "k", message: "must be positive".into() };
+        assert!(e.to_string().contains('k'));
+
+        let e = CwsError::InvalidDependenceOrder { ell: 4, relevant: 2 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CwsError::EmptyAssignmentSet);
+    }
+}

@@ -1,0 +1,194 @@
+//! Adjusted-weight summaries (AW-summaries).
+//!
+//! An adjusted-weight assignment gives every sampled key a value
+//! `a(i) ≥ 0` with `E[a(i)] = f(i)` (keys outside the sample implicitly get
+//! `0`). Subpopulation aggregates are estimated by summing the adjusted
+//! values of the sampled keys that satisfy the selection predicate
+//! (Section 3, "Adjusted weights").
+
+use std::collections::HashMap;
+
+use crate::weights::Key;
+
+/// Adjusted weights of the sampled keys.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdjustedWeights {
+    entries: Vec<(Key, f64)>,
+    index: HashMap<Key, usize>,
+}
+
+impl AdjustedWeights {
+    /// Builds an AW-summary from `(key, adjusted_weight)` pairs.
+    ///
+    /// Zero-valued entries are dropped (they are the implicit default);
+    /// duplicate keys are rejected.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys or negative / non-finite values.
+    #[must_use]
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Key, f64)>,
+    {
+        let mut stored = Vec::new();
+        let mut index = HashMap::new();
+        for (key, value) in entries {
+            assert!(
+                value >= 0.0 && value.is_finite(),
+                "adjusted weights must be finite and non-negative (key {key} had {value})"
+            );
+            if value == 0.0 {
+                continue;
+            }
+            let previous = index.insert(key, stored.len());
+            assert!(previous.is_none(), "duplicate adjusted weight for key {key}");
+            stored.push((key, value));
+        }
+        Self { entries: stored, index }
+    }
+
+    /// The adjusted weight of `key` (`0` for keys without an entry).
+    #[must_use]
+    pub fn get(&self, key: Key) -> f64 {
+        self.index.get(&key).map_or(0.0, |&slot| self.entries[slot].1)
+    }
+
+    /// Number of keys with a positive adjusted weight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no key has a positive adjusted weight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, adjusted_weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The estimate of the full-population aggregate `Σ_i f(i)`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, value)| value).sum()
+    }
+
+    /// The estimate of a subpopulation aggregate `Σ_{i : predicate(i)} f(i)`.
+    ///
+    /// The predicate is evaluated only on sampled keys — this is exactly how
+    /// AW-summaries support a-posteriori selections.
+    #[must_use]
+    pub fn subset_total<P: Fn(Key) -> bool>(&self, predicate: P) -> f64 {
+        self.entries.iter().filter(|&&(key, _)| predicate(key)).map(|&(_, value)| value).sum()
+    }
+
+    /// Estimates `Σ_{i : predicate(i)} h(i)` for a secondary numeric function
+    /// `h` with `h(i) > 0 ⇒ f(i) > 0`, by rescaling each adjusted weight with
+    /// `h(i)/f(i)` (Section 3). `per_key` must return `(h(i), f(i))` for a
+    /// sampled key.
+    #[must_use]
+    pub fn ratio_estimate<P, G>(&self, predicate: P, per_key: G) -> f64
+    where
+        P: Fn(Key) -> bool,
+        G: Fn(Key) -> (f64, f64),
+    {
+        self.entries
+            .iter()
+            .filter(|&&(key, _)| predicate(key))
+            .map(|&(key, value)| {
+                let (h, f) = per_key(key);
+                if f == 0.0 {
+                    0.0
+                } else {
+                    value * h / f
+                }
+            })
+            .sum()
+    }
+
+    /// Per-key difference `a(i) − b(i)` over the union of the supports,
+    /// clamped at zero from below.
+    ///
+    /// This is how the L1 (range) estimator `a^(L1) = a^(max) − a^(min)` is
+    /// assembled (Eq. 17); for consistent rank assignments the difference is
+    /// provably non-negative (Lemma 7.5), so the clamp only absorbs
+    /// floating-point noise.
+    #[must_use]
+    pub fn difference(minuend: &Self, subtrahend: &Self) -> Self {
+        let mut keys: Vec<Key> = minuend.iter().map(|(key, _)| key).collect();
+        keys.extend(subtrahend.iter().map(|(key, _)| key));
+        keys.sort_unstable();
+        keys.dedup();
+        Self::from_entries(
+            keys.into_iter()
+                .map(|key| (key, (minuend.get(key) - subtrahend.get(key)).max(0.0))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let aw = AdjustedWeights::from_entries(vec![(1, 2.0), (2, 0.0), (3, 4.5)]);
+        assert_eq!(aw.len(), 2);
+        assert!(!aw.is_empty());
+        assert_eq!(aw.get(1), 2.0);
+        assert_eq!(aw.get(2), 0.0);
+        assert_eq!(aw.get(99), 0.0);
+        assert_eq!(aw.total(), 6.5);
+    }
+
+    #[test]
+    fn subset_total_filters() {
+        let aw = AdjustedWeights::from_entries((0u64..10).map(|k| (k, 1.0)));
+        assert_eq!(aw.subset_total(|k| k < 3), 3.0);
+        assert_eq!(aw.subset_total(|_| false), 0.0);
+    }
+
+    #[test]
+    fn ratio_estimate_scales_by_secondary_function() {
+        let aw = AdjustedWeights::from_entries(vec![(1, 10.0), (2, 20.0)]);
+        // h(i) = f(i) / 2 for every key.
+        let estimate = aw.ratio_estimate(|_| true, |_| (1.0, 2.0));
+        assert_eq!(estimate, 15.0);
+        // Keys with f = 0 contribute nothing.
+        let estimate = aw.ratio_estimate(|_| true, |k| if k == 1 { (3.0, 0.0) } else { (1.0, 1.0) });
+        assert_eq!(estimate, 20.0);
+    }
+
+    #[test]
+    fn difference_clamps_at_zero() {
+        let a = AdjustedWeights::from_entries(vec![(1, 5.0), (2, 1.0)]);
+        let b = AdjustedWeights::from_entries(vec![(1, 2.0), (2, 3.0), (3, 1.0)]);
+        let d = AdjustedWeights::difference(&a, &b);
+        assert_eq!(d.get(1), 3.0);
+        assert_eq!(d.get(2), 0.0);
+        assert_eq!(d.get(3), 0.0);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate adjusted weight")]
+    fn duplicate_keys_rejected() {
+        let _ = AdjustedWeights::from_entries(vec![(1, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_rejected() {
+        let _ = AdjustedWeights::from_entries(vec![(1, -1.0)]);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let aw = AdjustedWeights::default();
+        assert!(aw.is_empty());
+        assert_eq!(aw.total(), 0.0);
+    }
+}

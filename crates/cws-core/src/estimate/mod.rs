@@ -1,0 +1,30 @@
+//! Estimators over sketches and multi-assignment summaries.
+//!
+//! All estimators produce [`adjusted::AdjustedWeights`] — per-key adjusted
+//! values `a^(f)(i)` with `E[a^(f)(i)] = f(i)` — so that any subpopulation
+//! aggregate `Σ_{i : d(i)} f(i)` is estimated by summing the adjusted values
+//! of the sampled keys that satisfy the predicate `d`, which may be chosen
+//! after the summary was built.
+//!
+//! * [`single`] — estimators for a single sketch: the Horvitz–Thompson
+//!   estimator for Poisson samples and the rank-conditioning (RC) estimator
+//!   for bottom-k samples.
+//! * [`template`] — the paper's template estimator (Section 5): every
+//!   concrete estimator is a choice of selection rule `S*` together with a
+//!   conditional inclusion probability.
+//! * [`colocated`] — inclusive and plain estimators over colocated summaries
+//!   (Section 6).
+//! * [`dispersed`] — s-set and l-set estimators for max / min / L1 /
+//!   ℓ-th-largest aggregates over dispersed summaries (Section 7).
+
+pub mod adjusted;
+pub mod colocated;
+pub mod dispersed;
+pub mod single;
+pub mod template;
+
+pub use adjusted::AdjustedWeights;
+pub use colocated::{InclusiveEstimator, PlainEstimator};
+pub use dispersed::{DispersedEstimator, SelectionKind};
+pub use single::{ht_adjusted_weights, rc_adjusted_weights};
+pub use template::Selected;

@@ -1,0 +1,144 @@
+//! Estimators for a single sketch: Horvitz–Thompson for Poisson samples and
+//! rank conditioning (RC) for bottom-k samples (Section 3).
+
+use crate::estimate::adjusted::AdjustedWeights;
+use crate::ranks::RankFamily;
+use crate::sketch::bottomk::BottomKSketch;
+use crate::sketch::poisson::PoissonSketch;
+
+/// The RC (rank-conditioning) adjusted weights of a bottom-k sketch:
+/// `a(i) = w(i) / F_{w(i)}(r_{k+1}(I))` for sampled keys (Section 3).
+///
+/// With IPPS ranks this is the priority-sampling estimator; its sum of
+/// per-key variances is at most that of an HT estimator over a Poisson IPPS
+/// sample of expected size `k + 1`.
+#[must_use]
+pub fn rc_adjusted_weights(sketch: &BottomKSketch, family: RankFamily) -> AdjustedWeights {
+    let threshold = sketch.next_rank();
+    AdjustedWeights::from_entries(sketch.entries().iter().map(|entry| {
+        let p = family.inclusion_probability(entry.weight, threshold);
+        (entry.key, entry.weight / p)
+    }))
+}
+
+/// The Horvitz–Thompson adjusted weights of a Poisson-τ sketch:
+/// `a(i) = w(i) / F_{w(i)}(τ)` for sampled keys (Section 3).
+#[must_use]
+pub fn ht_adjusted_weights(sketch: &PoissonSketch, family: RankFamily) -> AdjustedWeights {
+    let tau = sketch.tau();
+    AdjustedWeights::from_entries(sketch.entries().iter().map(|entry| {
+        let p = family.inclusion_probability(entry.weight, tau);
+        (entry.key, entry.weight / p)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{Key, WeightedSet};
+    use cws_hash::SeedSequence;
+
+    /// The Figure 1 weighted set and rank assignment.
+    fn figure1_ranked() -> Vec<(Key, f64, f64)> {
+        let weights = [20.0, 10.0, 12.0, 20.0, 10.0, 10.0];
+        // Ranks as printed in Figure 1 (i3's printed rank 0.0583 differs from
+        // u/w = 0.005833…; we reproduce the printed figure).
+        let ranks = [0.011, 0.075, 0.0583, 0.046, 0.055, 0.037];
+        (0..6).map(|i| (i as Key + 1, ranks[i], weights[i])).collect()
+    }
+
+    #[test]
+    fn figure1_bottom_k_adjusted_weights() {
+        // Figure 1, bottom-k panel: k = 1, 2, 3 give the listed adjusted
+        // weights 27.02; 21.74/21.74; 20.00/20.00/18.18.
+        let ranked = figure1_ranked();
+
+        let sketch = BottomKSketch::from_ranked(1, ranked.clone());
+        let aw = rc_adjusted_weights(&sketch, RankFamily::Ipps);
+        assert!((aw.get(1) - 20.0 / (20.0 * 0.037)).abs() < 1e-9);
+        assert!((aw.get(1) - 27.027).abs() < 1e-2);
+
+        let sketch = BottomKSketch::from_ranked(2, ranked.clone());
+        let aw = rc_adjusted_weights(&sketch, RankFamily::Ipps);
+        assert!((aw.get(1) - 21.739).abs() < 1e-2);
+        assert!((aw.get(6) - 21.739).abs() < 1e-2);
+        assert_eq!(aw.get(4), 0.0);
+
+        let sketch = BottomKSketch::from_ranked(3, ranked);
+        let aw = rc_adjusted_weights(&sketch, RankFamily::Ipps);
+        assert!((aw.get(1) - 20.0).abs() < 1e-9);
+        assert!((aw.get(4) - 20.0).abs() < 1e-9);
+        assert!((aw.get(6) - 18.1818).abs() < 1e-3);
+        // Subpopulation J = {i2, i4, i6}: estimate 38.18 (paper text).
+        let estimate = aw.subset_total(|key| key % 2 == 0);
+        assert!((estimate - 38.18).abs() < 1e-2);
+    }
+
+    #[test]
+    fn figure1_poisson_adjusted_weights() {
+        // Figure 1, Poisson panel: tau = k/82 and only i1 is sampled, with
+        // adjusted weights 82, 41, 27.40 for k = 1, 2, 3.
+        let ranked = figure1_ranked();
+        // The k = 3 value is 20 / (60/82) = 27.33…; the figure prints 27.40
+        // because it rounds the inclusion probability to 0.73 first.
+        let expected = [82.0, 41.0, 27.333_333];
+        for k in 1..=3usize {
+            let tau = k as f64 / 82.0;
+            let sketch = PoissonSketch::from_ranked(tau, ranked.clone());
+            let aw = ht_adjusted_weights(&sketch, RankFamily::Ipps);
+            assert_eq!(aw.len(), 1);
+            assert!((aw.get(1) - expected[k - 1]).abs() < 5e-3, "k={k}: {}", aw.get(1));
+        }
+    }
+
+    #[test]
+    fn rc_estimator_is_unbiased_statistically() {
+        // Average the subset estimate over many independent samples and
+        // compare with the exact subset weight.
+        let set = WeightedSet::from_pairs((0u64..300).map(|k| (k, ((k % 17) + 1) as f64)));
+        let exact = set.subset_total(|k| k % 3 == 0);
+        let runs = 600;
+        let k = 30;
+        let mut total = 0.0;
+        for run in 0..runs {
+            let seeds = SeedSequence::new(5000 + run);
+            let sketch = BottomKSketch::sample(&set, k, RankFamily::Ipps, &seeds);
+            let aw = rc_adjusted_weights(&sketch, RankFamily::Ipps);
+            total += aw.subset_total(|key| key % 3 == 0);
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - exact).abs() < exact * 0.05,
+            "mean {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn ht_estimator_is_unbiased_statistically() {
+        let set = WeightedSet::from_pairs((0u64..300).map(|k| (k, ((k % 17) + 1) as f64)));
+        let exact = set.total();
+        let runs = 600;
+        let mut total = 0.0;
+        for run in 0..runs {
+            let seeds = SeedSequence::new(9000 + run);
+            let sketch = PoissonSketch::sample(&set, 30.0, RankFamily::Exp, &seeds);
+            let aw = ht_adjusted_weights(&sketch, RankFamily::Exp);
+            total += aw.total();
+        }
+        let mean = total / runs as f64;
+        assert!((mean - exact).abs() < exact * 0.05, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn small_population_gets_exact_weights() {
+        // When the population has at most k positive keys, r_{k+1} = +inf and
+        // every key gets its exact weight.
+        let ranked = figure1_ranked();
+        let sketch = BottomKSketch::from_ranked(10, ranked);
+        let aw = rc_adjusted_weights(&sketch, RankFamily::Ipps);
+        assert_eq!(aw.total(), 82.0);
+        for (key, weight) in [(1, 20.0), (2, 10.0), (3, 12.0), (4, 20.0), (5, 10.0), (6, 10.0)] {
+            assert_eq!(aw.get(key), weight);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Worked examples from the paper (Figures 1 and 2), used as executable
+//! documentation and regression tests for the exact numbers printed there.
+
+use crate::aggregates::AggregateFn;
+use crate::ranks::RankFamily;
+use crate::weights::{Key, MultiWeighted};
+
+/// Figure 1 / Figure 2 seeds `u(i)` for keys i1..i6.
+const SEEDS: [f64; 6] = [0.22, 0.75, 0.07, 0.92, 0.55, 0.37];
+
+/// Figure 2 (A): three weight assignments over keys i1..i6 (keys 1..=6 here).
+fn figure2_data() -> MultiWeighted {
+    let w1 = [15.0, 0.0, 10.0, 5.0, 10.0, 10.0];
+    let w2 = [20.0, 10.0, 12.0, 20.0, 0.0, 10.0];
+    let w3 = [10.0, 15.0, 15.0, 0.0, 15.0, 10.0];
+    let mut builder = MultiWeighted::builder(3);
+    for i in 0..6usize {
+        let key = i as Key + 1;
+        builder.add(key, 0, w1[i]);
+        builder.add(key, 1, w2[i]);
+        builder.add(key, 2, w3[i]);
+    }
+    builder.build()
+}
+
+#[test]
+fn figure1_ipps_ranks_match_printed_values() {
+    // Figure 1: weights and IPPS ranks r(i) = u(i)/w(i).
+    let weights = [20.0, 10.0, 12.0, 20.0, 10.0, 10.0];
+    let expected = [0.011, 0.075, 0.005_833, 0.046, 0.055, 0.037];
+    for i in 0..6 {
+        let rank = RankFamily::Ipps.rank_from_seed(weights[i], SEEDS[i]);
+        // The figure prints 0.0583 for i3, an apparent typo for u/w =
+        // 0.005833…; we verify the formula value.
+        assert!((rank - expected[i]).abs() < 1e-6, "i{}: {rank}", i + 1);
+    }
+}
+
+#[test]
+fn figure2_shared_seed_ranks_match_printed_values() {
+    // Figure 2 (B), "Consistent shared-seed IPPS ranks".
+    let data = figure2_data();
+    let expected: [[f64; 3]; 6] = [
+        [0.0147, 0.011, 0.022],
+        [f64::INFINITY, 0.075, 0.05],
+        [0.007, 0.0583, 0.0047],
+        [0.184, 0.046, f64::INFINITY],
+        [0.055, f64::INFINITY, 0.0367],
+        [0.037, 0.037, 0.037],
+    ];
+    for i in 0..6usize {
+        let key = i as Key + 1;
+        let weights = data.weight_vector(key).unwrap();
+        for b in 0..3 {
+            let rank = RankFamily::Ipps.rank_from_seed(weights[b], SEEDS[i]);
+            if expected[i][b].is_infinite() {
+                assert!(rank.is_infinite(), "key i{} assignment {b}", i + 1);
+            } else {
+                // The figure rounds to a few significant digits (and prints
+                // 0.0583 for the 0.005833… entry of i3 under w^(2); we accept
+                // a relative tolerance around the printed value except for
+                // that typo, which we check against the formula).
+                let printed = expected[i][b];
+                let formula_ok = (rank - printed).abs() <= printed * 0.02 + 1e-4;
+                let typo_ok = i == 2 && b == 1 && (rank - 0.005_833).abs() < 1e-5;
+                assert!(formula_ok || typo_ok, "key i{} assignment {b}: {rank}", i + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn figure2_bottom3_samples_from_shared_seed_ranks() {
+    // Figure 2 (B): the bottom-3 samples per assignment under shared-seed
+    // consistent ranks are w1: {i3, i1, i6}, w2: {i1, i6, i4}, w3: {i3, i1, i5}
+    // (using the formula rank for i3 under w^(2), it enters the sample and i4
+    // is third; with the printed ranks the figure lists i1, i6, i4 — both are
+    // valid bottom-3 outcomes of their respective printed rank values, we
+    // verify the formula-derived one).
+    use crate::coordination::CoordinationMode;
+    use crate::summary::{DispersedSummary, SummaryConfig};
+
+    let data = figure2_data();
+    // Recreate the figure's exact seeds by checking against a direct
+    // computation rather than the hash-derived seeds: build the sketches by
+    // hand.
+    let mut keys_per_assignment: Vec<Vec<Key>> = Vec::new();
+    for b in 0..3usize {
+        let mut ranked: Vec<(Key, f64)> = (0..6usize)
+            .map(|i| {
+                let key = i as Key + 1;
+                (key, RankFamily::Ipps.rank_from_seed(data.weight(key, b), SEEDS[i]))
+            })
+            .filter(|(_, r)| r.is_finite())
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        keys_per_assignment.push(ranked.into_iter().take(3).map(|(k, _)| k).collect());
+    }
+    assert_eq!(keys_per_assignment[0], vec![3, 1, 6]);
+    assert_eq!(keys_per_assignment[1], vec![3, 1, 6]); // formula rank for i3 is 0.00583
+    assert_eq!(keys_per_assignment[2], vec![3, 1, 5]);
+
+    // And the library's dispersed summary with its own hash seeds still
+    // produces three bottom-3 sketches over these six keys.
+    let config = SummaryConfig::new(3, RankFamily::Ipps, CoordinationMode::SharedSeed, 99);
+    let summary = DispersedSummary::build(&data, &config);
+    for b in 0..3 {
+        assert_eq!(summary.sketch(b).len(), 3);
+    }
+    assert!(summary.num_distinct_keys() <= 6);
+}
+
+#[test]
+fn figure2_example_aggregates() {
+    let data = figure2_data();
+    // Totals of the per-key aggregate rows shown in Figure 2 (A).
+    let total = |f: &AggregateFn| crate::aggregates::exact_aggregate(&data, f, |_| true);
+    assert_eq!(total(&AggregateFn::Max(vec![0, 1])), 82.0);
+    assert_eq!(total(&AggregateFn::Max(vec![0, 1, 2])), 95.0);
+    assert_eq!(total(&AggregateFn::Min(vec![0, 1])), 40.0);
+    assert_eq!(total(&AggregateFn::Min(vec![0, 1, 2])), 30.0);
+    assert_eq!(total(&AggregateFn::L1(vec![0, 1])), 42.0);
+    assert_eq!(total(&AggregateFn::L1(vec![1, 2])), 53.0);
+}

@@ -1,0 +1,343 @@
+//! Bottom-k (order) sketches.
+//!
+//! A bottom-k sketch of a weighted set contains the `k` keys with the
+//! smallest rank values, their rank and weight, and the `(k+1)`-st smallest
+//! rank value `r_{k+1}(I)` (Section 3). Bottom-k sketches with IPPS ranks are
+//! *priority samples*; with EXP ranks they are successive weighted sampling
+//! without replacement.
+
+use std::collections::BinaryHeap;
+
+use cws_hash::SeedSequence;
+
+use crate::ranks::RankFamily;
+use crate::weights::{Key, WeightedSet};
+
+/// One sampled key inside a sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchEntry {
+    /// The sampled key.
+    pub key: Key,
+    /// Its rank value under this assignment.
+    pub rank: f64,
+    /// Its weight under this assignment.
+    pub weight: f64,
+}
+
+/// Ordering adaptor so entries can live in a max-heap keyed by rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ByRank(SketchEntry);
+
+impl Eq for ByRank {}
+
+impl PartialOrd for ByRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ByRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .rank
+            .total_cmp(&other.0.rank)
+            .then_with(|| self.0.key.cmp(&other.0.key))
+    }
+}
+
+/// A bottom-k sketch of a single weighted set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottomKSketch {
+    k: usize,
+    entries: Vec<SketchEntry>,
+    next_rank: f64,
+}
+
+impl BottomKSketch {
+    /// Builds a sketch from `(key, rank, weight)` triples.
+    ///
+    /// Keys with infinite rank (zero weight) are never sampled. Entries are
+    /// retained for the `k` smallest ranks; `r_{k+1}(I)` is recorded, and is
+    /// `+∞` when fewer than `k + 1` keys have a finite rank.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn from_ranked<I>(k: usize, ranked: I) -> Self
+    where
+        I: IntoIterator<Item = (Key, f64, f64)>,
+    {
+        assert!(k > 0, "sample size k must be positive");
+        // Max-heap of the (k + 1) smallest-ranked entries seen so far.
+        let mut heap: BinaryHeap<ByRank> = BinaryHeap::with_capacity(k + 2);
+        for (key, rank, weight) in ranked {
+            if !rank.is_finite() {
+                continue;
+            }
+            debug_assert!(weight > 0.0, "finite rank implies positive weight");
+            heap.push(ByRank(SketchEntry { key, rank, weight }));
+            if heap.len() > k + 1 {
+                heap.pop();
+            }
+        }
+        let mut entries: Vec<SketchEntry> = heap.into_iter().map(|ByRank(e)| e).collect();
+        entries.sort_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
+        let next_rank = if entries.len() > k { entries.pop().expect("len > k").rank } else { f64::INFINITY };
+        Self { k, entries, next_rank }
+    }
+
+    /// Samples a weighted set using shared-seed ranks from `seeds`.
+    ///
+    /// This is the single-assignment convenience constructor (used by the
+    /// worked examples and the stream-sampler tests); multi-assignment
+    /// summaries are built through [`crate::summary`].
+    #[must_use]
+    pub fn sample(set: &WeightedSet, k: usize, family: RankFamily, seeds: &SeedSequence) -> Self {
+        Self::from_ranked(
+            k,
+            set.iter().map(|(key, weight)| {
+                (key, family.rank_from_seed(weight, seeds.shared_seed(key)), weight)
+            }),
+        )
+    }
+
+    /// The nominal sample size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The sampled entries, sorted by increasing rank (at most `k`).
+    #[must_use]
+    pub fn entries(&self) -> &[SketchEntry] {
+        &self.entries
+    }
+
+    /// Number of sampled keys (`min(k, #positive-weight keys)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no key was sampled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `r_{k+1}(I)` — the `(k+1)`-st smallest rank in the population
+    /// (`+∞` if fewer than `k + 1` keys have positive weight).
+    #[must_use]
+    pub fn next_rank(&self) -> f64 {
+        self.next_rank
+    }
+
+    /// `r_k(I)` — the `k`-th smallest rank in the population (`+∞` if fewer
+    /// than `k` keys have positive weight).
+    #[must_use]
+    pub fn kth_rank(&self) -> f64 {
+        if self.entries.len() == self.k {
+            self.entries[self.k - 1].rank
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether `key` was sampled.
+    #[must_use]
+    pub fn contains(&self, key: Key) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// The rank of `key` if it was sampled.
+    #[must_use]
+    pub fn rank_of(&self, key: Key) -> Option<f64> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.rank)
+    }
+
+    /// The weight recorded for `key` if it was sampled.
+    #[must_use]
+    pub fn weight_of(&self, key: Key) -> Option<f64> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.weight)
+    }
+
+    /// `r_k(I \ {key})` — the conditioning threshold of the RC estimator:
+    /// `r_{k+1}(I)` when `key` is in the sketch, `r_k(I)` otherwise.
+    #[must_use]
+    pub fn threshold_excluding(&self, key: Key) -> f64 {
+        if self.contains(key) {
+            self.next_rank
+        } else {
+            self.kth_rank()
+        }
+    }
+}
+
+/// Combines coordinated bottom-k sketches of assignments `R` into a bottom-k
+/// sketch with respect to the maximum weight `w^(max R)` (Lemma 4.2).
+///
+/// The result contains the `k` distinct keys with the smallest rank observed
+/// anywhere in the union of the input sketches. The weight recorded for each
+/// key is the largest weight observed for it across the inputs; in the
+/// dispersed model this equals `w^(max R)(i)` whenever the key is included in
+/// the sketch of its maximizing assignment, which holds for every key the
+/// lemma selects when ranks are consistent.
+///
+/// # Panics
+/// Panics if `sketches` is empty or the sketches have different `k`.
+#[must_use]
+pub fn union_max_sketch(sketches: &[BottomKSketch]) -> BottomKSketch {
+    assert!(!sketches.is_empty(), "at least one sketch is required");
+    let k = sketches[0].k();
+    assert!(sketches.iter().all(|s| s.k() == k), "all sketches must share the same k");
+
+    let mut best: std::collections::HashMap<Key, SketchEntry> = std::collections::HashMap::new();
+    for sketch in sketches {
+        for entry in sketch.entries() {
+            best.entry(entry.key)
+                .and_modify(|cur| {
+                    cur.rank = cur.rank.min(entry.rank);
+                    cur.weight = cur.weight.max(entry.weight);
+                })
+                .or_insert(*entry);
+        }
+    }
+    BottomKSketch::from_ranked(k, best.into_values().map(|e| (e.key, e.rank, e.weight)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::{CoordinationMode, RankGenerator};
+    use crate::weights::MultiWeighted;
+
+    fn ranked_fixture() -> Vec<(Key, f64, f64)> {
+        vec![
+            (1, 0.011, 20.0),
+            (2, 0.075, 10.0),
+            (3, 0.0583, 12.0),
+            (4, 0.046, 20.0),
+            (5, 0.055, 10.0),
+            (6, 0.037, 10.0),
+        ]
+    }
+
+    #[test]
+    fn bottom_k_keeps_smallest_ranks() {
+        let sketch = BottomKSketch::from_ranked(3, ranked_fixture());
+        let keys: Vec<Key> = sketch.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 6, 4]);
+        assert!((sketch.next_rank() - 0.055).abs() < 1e-12);
+        assert!((sketch.kth_rank() - 0.046).abs() < 1e-12);
+        assert_eq!(sketch.len(), 3);
+    }
+
+    #[test]
+    fn bottom_k_smaller_population_than_k() {
+        let sketch = BottomKSketch::from_ranked(10, ranked_fixture());
+        assert_eq!(sketch.len(), 6);
+        assert!(sketch.next_rank().is_infinite());
+        assert!(sketch.kth_rank().is_infinite());
+    }
+
+    #[test]
+    fn bottom_k_exactly_k_positive_keys() {
+        let sketch = BottomKSketch::from_ranked(6, ranked_fixture());
+        assert_eq!(sketch.len(), 6);
+        assert!(sketch.next_rank().is_infinite());
+        assert!((sketch.kth_rank() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_keys_never_sampled() {
+        let mut ranked = ranked_fixture();
+        ranked.push((7, f64::INFINITY, 0.0));
+        let sketch = BottomKSketch::from_ranked(10, ranked);
+        assert!(!sketch.contains(7));
+    }
+
+    #[test]
+    fn threshold_excluding_matches_rank_conditioning() {
+        let sketch = BottomKSketch::from_ranked(3, ranked_fixture());
+        // Key 1 is in the sketch: threshold is r_{k+1}(I).
+        assert_eq!(sketch.threshold_excluding(1), sketch.next_rank());
+        // Key 2 is not: threshold is r_k(I).
+        assert_eq!(sketch.threshold_excluding(2), sketch.kth_rank());
+    }
+
+    #[test]
+    fn membership_helpers() {
+        let sketch = BottomKSketch::from_ranked(3, ranked_fixture());
+        assert!(sketch.contains(6));
+        assert_eq!(sketch.rank_of(6), Some(0.037));
+        assert_eq!(sketch.weight_of(6), Some(10.0));
+        assert_eq!(sketch.rank_of(2), None);
+        assert!(!sketch.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = BottomKSketch::from_ranked(0, ranked_fixture());
+    }
+
+    #[test]
+    fn sample_from_weighted_set_is_deterministic() {
+        let set = WeightedSet::from_pairs((0u64..100).map(|k| (k, (k % 10 + 1) as f64)));
+        let seeds = SeedSequence::new(8);
+        let a = BottomKSketch::sample(&set, 10, RankFamily::Ipps, &seeds);
+        let b = BottomKSketch::sample(&set, 10, RankFamily::Ipps, &seeds);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn union_max_sketch_matches_direct_max_sketch() {
+        // Build coordinated sketches for 3 assignments and verify Lemma 4.2:
+        // the union sketch contains the same keys as a bottom-k sketch of the
+        // max weights using the minimum ranks.
+        let mut builder = MultiWeighted::builder(3);
+        for key in 0..300u64 {
+            for b in 0..3usize {
+                let w = ((key * (b as u64 + 3)) % 17) as f64;
+                builder.add(key, b, w);
+            }
+        }
+        let data = builder.build();
+        let gen = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 77).unwrap();
+
+        let k = 20;
+        let mut sketches = Vec::new();
+        for b in 0..3 {
+            sketches.push(BottomKSketch::from_ranked(
+                k,
+                data.iter().map(|(key, wv)| (key, gen.rank_vector(key, wv)[b], wv[b])),
+            ));
+        }
+        let union = union_max_sketch(&sketches);
+
+        let direct = BottomKSketch::from_ranked(
+            k,
+            data.iter().map(|(key, wv)| {
+                let ranks = gen.rank_vector(key, wv);
+                let min_rank = ranks.iter().copied().fold(f64::INFINITY, f64::min);
+                let max_w = wv.iter().copied().fold(0.0f64, f64::max);
+                (key, min_rank, max_w)
+            }),
+        );
+
+        let union_keys: Vec<Key> = union.entries().iter().map(|e| e.key).collect();
+        let direct_keys: Vec<Key> = direct.entries().iter().map(|e| e.key).collect();
+        assert_eq!(union_keys, direct_keys);
+        for (u, d) in union.entries().iter().zip(direct.entries()) {
+            assert_eq!(u.rank.to_bits(), d.rank.to_bits());
+            assert_eq!(u.weight, d.weight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sketch")]
+    fn union_of_nothing_panics() {
+        let _ = union_max_sketch(&[]);
+    }
+}

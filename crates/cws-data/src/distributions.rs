@@ -1,0 +1,178 @@
+//! Heavy-tailed distributions used by the workload generators.
+
+use cws_hash::{RandomSource, Xoshiro256};
+
+/// Normalized Zipf–Mandelbrot popularities over `n` items:
+/// `p_i ∝ 1 / (i + shift)^exponent` for `i = 1..=n`.
+///
+/// # Panics
+/// Panics if `n == 0`, `exponent <= 0` or `shift < 0`.
+#[must_use]
+pub fn zipf_mandelbrot(n: usize, exponent: f64, shift: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one item");
+    assert!(exponent > 0.0, "exponent must be positive");
+    assert!(shift >= 0.0, "shift must be non-negative");
+    let mut raw: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64 + shift).powf(exponent)).collect();
+    let total: f64 = raw.iter().sum();
+    for value in &mut raw {
+        *value /= total;
+    }
+    raw
+}
+
+/// Samples indices proportionally to a fixed popularity vector, using binary
+/// search over the cumulative distribution.
+#[derive(Debug, Clone)]
+pub struct CategoricalSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CategoricalSampler {
+    /// Builds a sampler from (not necessarily normalized) non-negative
+    /// popularities.
+    ///
+    /// # Panics
+    /// Panics if the popularities are empty, contain negatives, or sum to 0.
+    #[must_use]
+    pub fn new(popularities: &[f64]) -> Self {
+        assert!(!popularities.is_empty(), "need at least one category");
+        assert!(popularities.iter().all(|&p| p >= 0.0), "popularities must be non-negative");
+        let total: f64 = popularities.iter().sum();
+        assert!(total > 0.0, "popularities must not all be zero");
+        let mut cumulative = Vec::with_capacity(popularities.len());
+        let mut acc = 0.0;
+        for &p in popularities {
+            acc += p / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Self { cumulative }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if there are no categories (never true for a constructed
+    /// sampler).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one category index.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> usize {
+        let u = rng.next_unit();
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// A Pareto (power-law) variate with the given scale (minimum) and shape.
+///
+/// # Panics
+/// Panics if `scale <= 0` or `shape <= 0`.
+pub fn pareto<R: RandomSource>(rng: &mut R, scale: f64, shape: f64) -> f64 {
+    assert!(scale > 0.0 && shape > 0.0, "scale and shape must be positive");
+    scale / rng.next_open01().powf(1.0 / shape)
+}
+
+/// A log-normal variate with the given parameters of the underlying normal.
+pub fn lognormal<R: RandomSource>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// A standard normal variate (Box–Muller).
+pub fn standard_normal<R: RandomSource>(rng: &mut R) -> f64 {
+    let u1 = rng.next_open01();
+    let u2 = rng.next_open01();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A convenient deterministic generator for the workload builders.
+#[must_use]
+pub fn rng_for(seed: u64, stream: u64) -> Xoshiro256 {
+    Xoshiro256::seeded(seed).derive(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_normalized_and_decreasing() {
+        let p = zipf_mandelbrot(100, 1.1, 2.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(p[0] > p[99] * 10.0, "head should dominate tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zipf_rejects_bad_exponent() {
+        let _ = zipf_mandelbrot(10, 0.0, 0.0);
+    }
+
+    #[test]
+    fn categorical_sampler_matches_popularities() {
+        let popularities = [0.6, 0.3, 0.1];
+        let sampler = CategoricalSampler::new(&popularities);
+        assert_eq!(sampler.len(), 3);
+        let mut rng = rng_for(1, 0);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            assert!(
+                (observed - popularities[i]).abs() < 0.02,
+                "category {i}: {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_sampler_handles_zero_popularity() {
+        let sampler = CategoricalSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = rng_for(2, 0);
+        for _ in 0..1000 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_is_heavy_tailed() {
+        let mut rng = rng_for(3, 0);
+        let samples: Vec<f64> = (0..20_000).map(|_| pareto(&mut rng, 2.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Theoretical mean = scale * shape / (shape - 1) = 6.
+        assert!((mean - 6.0).abs() < 0.8, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = rng_for(4, 0);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal(&mut rng, 1.0, 0.5)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_for(5, 0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Generic Zipf-correlated multi-assignment generators.
+//!
+//! These are the workhorse inputs of micro-benchmarks, property tests and the
+//! quickstart example: heavy-tailed weights whose cross-assignment
+//! correlation and churn are directly controllable.
+
+use cws_core::weights::MultiWeighted;
+use cws_hash::RandomSource;
+
+use crate::distributions::{lognormal, rng_for, zipf_mandelbrot};
+
+/// Generates a multi-assignment data set with Zipf-distributed base weights.
+///
+/// Every key draws a base weight from a Zipf-Mandelbrot law over the key
+/// universe. For each assignment the key keeps its base weight scaled by
+/// log-normal noise of magnitude `1 - correlation` and is dropped entirely
+/// (weight 0) with probability `churn`.
+///
+/// * `correlation = 1.0`, `churn = 0.0` → all assignments identical.
+/// * `correlation = 0.0` → assignments share only the popularity skew.
+///
+/// # Panics
+/// Panics if `num_keys == 0`, `num_assignments == 0`, or `correlation` /
+/// `churn` are outside `[0, 1]`.
+#[must_use]
+pub fn correlated_zipf(
+    num_keys: usize,
+    num_assignments: usize,
+    exponent: f64,
+    correlation: f64,
+    churn: f64,
+    seed: u64,
+) -> MultiWeighted {
+    assert!(num_keys > 0, "need at least one key");
+    assert!(num_assignments > 0, "need at least one assignment");
+    assert!((0.0..=1.0).contains(&correlation), "correlation must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&churn), "churn must be in [0, 1]");
+
+    let popularity = zipf_mandelbrot(num_keys, exponent, 1.0);
+    let sigma = (1.0 - correlation) * 0.8;
+    let mut rng = rng_for(seed, 0xC0FFEE);
+    let mut builder = MultiWeighted::builder(num_assignments);
+    for (index, &p) in popularity.iter().enumerate() {
+        let key = index as u64;
+        let base = p * num_keys as f64 * 100.0;
+        for assignment in 0..num_assignments {
+            let dropped = rng.next_unit() < churn;
+            let weight = if dropped {
+                0.0
+            } else if sigma == 0.0 {
+                base
+            } else {
+                base * lognormal(&mut rng, 0.0, sigma)
+            };
+            builder.add(key, assignment, weight);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::aggregates::weighted_jaccard;
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let a = correlated_zipf(500, 3, 1.2, 0.8, 0.1, 7);
+        let b = correlated_zipf(500, 3, 1.2, 0.8, 0.1, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.num_keys(), 500);
+        assert_eq!(a.num_assignments(), 3);
+        let c = correlated_zipf(500, 3, 1.2, 0.8, 0.1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_correlation_no_churn_gives_identical_assignments() {
+        let data = correlated_zipf(200, 4, 1.1, 1.0, 0.0, 3);
+        for (_, weights) in data.iter() {
+            for b in 1..4 {
+                assert_eq!(weights[b], weights[0]);
+            }
+        }
+        assert!((weighted_jaccard(&data, 0, 3, |_| true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_controls_similarity() {
+        let high = correlated_zipf(400, 2, 1.1, 0.95, 0.0, 5);
+        let low = correlated_zipf(400, 2, 1.1, 0.1, 0.0, 5);
+        let sim_high = weighted_jaccard(&high, 0, 1, |_| true);
+        let sim_low = weighted_jaccard(&low, 0, 1, |_| true);
+        assert!(sim_high > sim_low, "{sim_high} vs {sim_low}");
+        assert!(sim_high > 0.8);
+    }
+
+    #[test]
+    fn churn_produces_zero_weights() {
+        let data = correlated_zipf(300, 2, 1.1, 0.9, 0.4, 9);
+        let zeros = data.iter().flat_map(|(_, w)| w.iter().copied()).filter(|&w| w == 0.0).count();
+        let total = 300 * 2;
+        let fraction = zeros as f64 / total as f64;
+        assert!((fraction - 0.4).abs() < 0.08, "zero fraction {fraction}");
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let data = correlated_zipf(1000, 1, 1.3, 1.0, 0.0, 11);
+        let mut weights: Vec<f64> = data.iter().map(|(_, w)| w[0]).collect();
+        weights.sort_by(|a, b| b.total_cmp(a));
+        let top10: f64 = weights[..10].iter().sum();
+        let total: f64 = weights.iter().sum();
+        assert!(top10 / total > 0.2, "top-10 share {}", top10 / total);
+    }
+}

@@ -1,0 +1,144 @@
+//! The standard experiment data sets, at laptop scale.
+//!
+//! Every experiment draws its input from these constructors so that figures
+//! and tables are internally consistent and exactly reproducible. Two scales
+//! are provided: [`DatasetScale::Smoke`] keeps unit/integration tests fast,
+//! [`DatasetScale::Full`] is used by the benchmark harness.
+
+use cws_data::ip::{IpTrace, IpTraceConfig};
+use cws_data::ratings::{RatingsConfig, RatingsData};
+use cws_data::stocks::{StocksConfig, StocksData};
+
+/// Size of the synthetic data sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// Tiny instances for tests (seconds).
+    Smoke,
+    /// The default experiment scale (tens of seconds per figure).
+    Full,
+}
+
+impl DatasetScale {
+    /// The Monte-Carlo repetition count used at this scale (the paper uses
+    /// 25–200 runs).
+    #[must_use]
+    pub fn runs(self) -> u32 {
+        match self {
+            DatasetScale::Smoke => 15,
+            DatasetScale::Full => 60,
+        }
+    }
+
+    /// The sweep of per-assignment sample sizes `k` used by the figures.
+    #[must_use]
+    pub fn k_sweep(self) -> Vec<usize> {
+        match self {
+            DatasetScale::Smoke => vec![16, 64],
+            DatasetScale::Full => vec![16, 64, 256, 1024],
+        }
+    }
+}
+
+/// "IP dataset1": a two-period packet trace (the paper splits its trace into
+/// two halves).
+#[must_use]
+pub fn ip_dataset1(scale: DatasetScale) -> IpTrace {
+    let config = match scale {
+        DatasetScale::Smoke => IpTraceConfig {
+            num_flows: 2_500,
+            num_dest_ips: 300,
+            num_periods: 2,
+            seed: 0xA11CE,
+            ..IpTraceConfig::default()
+        },
+        DatasetScale::Full => IpTraceConfig {
+            num_flows: 40_000,
+            num_dest_ips: 4_000,
+            num_periods: 2,
+            seed: 0xA11CE,
+            ..IpTraceConfig::default()
+        },
+    };
+    IpTrace::generate(&config)
+}
+
+/// "IP dataset2": a four-period (hourly) packet trace.
+#[must_use]
+pub fn ip_dataset2(scale: DatasetScale) -> IpTrace {
+    let config = match scale {
+        DatasetScale::Smoke => IpTraceConfig {
+            num_flows: 2_500,
+            num_dest_ips: 300,
+            num_periods: 4,
+            churn: 0.45,
+            seed: 0xB0B,
+            ..IpTraceConfig::default()
+        },
+        DatasetScale::Full => IpTraceConfig {
+            num_flows: 40_000,
+            num_dest_ips: 4_000,
+            num_periods: 4,
+            churn: 0.45,
+            seed: 0xB0B,
+            ..IpTraceConfig::default()
+        },
+    };
+    IpTrace::generate(&config)
+}
+
+/// The Netflix-ratings stand-in: 12 monthly assignments.
+#[must_use]
+pub fn ratings(scale: DatasetScale) -> RatingsData {
+    let config = match scale {
+        DatasetScale::Smoke => RatingsConfig {
+            num_movies: 800,
+            monthly_ratings: 40_000.0,
+            seed: 0x4E7F,
+            ..RatingsConfig::default()
+        },
+        DatasetScale::Full => RatingsConfig {
+            num_movies: 8_000,
+            monthly_ratings: 400_000.0,
+            seed: 0x4E7F,
+            ..RatingsConfig::default()
+        },
+    };
+    RatingsData::generate(&config)
+}
+
+/// The stock-quotes stand-in: 23 trading days, 6 attributes per day.
+#[must_use]
+pub fn stocks(scale: DatasetScale) -> StocksData {
+    let config = match scale {
+        DatasetScale::Smoke => StocksConfig { num_tickers: 600, seed: 0x57, ..StocksConfig::default() },
+        DatasetScale::Full => {
+            StocksConfig { num_tickers: 6_000, seed: 0x57, ..StocksConfig::default() }
+        }
+    };
+    StocksData::generate(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_datasets_have_expected_shapes() {
+        let ip1 = ip_dataset1(DatasetScale::Smoke);
+        assert_eq!(ip1.config().num_periods, 2);
+        let ip2 = ip_dataset2(DatasetScale::Smoke);
+        assert_eq!(ip2.config().num_periods, 4);
+        let netflix = ratings(DatasetScale::Smoke);
+        assert_eq!(netflix.dataset().num_assignments(), 12);
+        let stock = stocks(DatasetScale::Smoke);
+        assert_eq!(stock.config().num_days, 23);
+        assert!(DatasetScale::Smoke.runs() < DatasetScale::Full.runs());
+        assert!(DatasetScale::Smoke.k_sweep().len() <= DatasetScale::Full.k_sweep().len());
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        assert_eq!(ip_dataset1(DatasetScale::Smoke), ip_dataset1(DatasetScale::Smoke));
+        assert_eq!(ratings(DatasetScale::Smoke), ratings(DatasetScale::Smoke));
+    }
+}

@@ -1,0 +1,172 @@
+//! Colocated-model figures: Figures 9–11 (inclusive vs plain estimators),
+//! Figures 12–16 (variance vs combined summary size), Figure 17 (sharing
+//! index).
+
+use cws_data::ip::IpKey;
+
+use crate::datasets::{self, DatasetScale};
+use crate::report::ExperimentReport;
+
+use super::{colocated_ratio_panel, sharing_panel, size_tradeoff_panel};
+
+/// Figure 9: IP dataset1, inclusive vs plain estimator variance ratios.
+pub(super) fn fig9(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig9",
+        "IP dataset1 colocated — ΣV[inclusive] / ΣV[plain] per weight assignment",
+    );
+    report.note("Ratios below 1 quantify how much the inclusive estimator gains from keys sampled for other assignments; independent sketches gain more because their unions are larger.");
+    let ip1 = datasets::ip_dataset1(scale);
+    for key in [IpKey::DestIp, IpKey::FourTuple] {
+        let view = ip1.colocated(key);
+        let (coordinated, independent) = colocated_ratio_panel(&view, &ks, runs);
+        report.push_table(coordinated);
+        report.push_table(independent);
+    }
+    report
+}
+
+/// Figure 10: IP dataset2, same ratios.
+pub(super) fn fig10(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig10",
+        "IP dataset2 colocated — ΣV[inclusive] / ΣV[plain] per weight assignment",
+    );
+    let ip2 = datasets::ip_dataset2(scale);
+    for key in [IpKey::DestIp, IpKey::FourTuple] {
+        let view = ip2.colocated(key);
+        let (coordinated, independent) = colocated_ratio_panel(&view, &ks, runs);
+        report.push_table(coordinated);
+        report.push_table(independent);
+    }
+    report
+}
+
+/// Figure 11: stocks (six price/volume attributes of one trading day).
+pub(super) fn fig11(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig11",
+        "Stocks colocated (one trading day, six attributes) — ΣV[inclusive] / ΣV[plain]",
+    );
+    let stocks = datasets::stocks(scale);
+    let view = stocks.colocated_day(0);
+    let (coordinated, independent) = colocated_ratio_panel(&view, &ks, runs);
+    report.push_table(coordinated);
+    report.push_table(independent);
+    report
+}
+
+/// Figures 12–16 share one implementation: `nΣV` of plain / inclusive
+/// estimators over coordinated / independent summaries against the combined
+/// summary size.
+fn size_figure(
+    id: &str,
+    title: &str,
+    dataset: &cws_data::dataset::LabeledDataset,
+    assignments: &[usize],
+    scale: DatasetScale,
+) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(id, title);
+    report.note(
+        "For equal combined size, coordinated summaries give plain estimators a larger embedded \
+         sample; inclusive estimators close most of the gap for independent summaries.",
+    );
+    for &assignment in assignments {
+        report.push_table(size_tradeoff_panel(dataset, assignment, &ks, runs));
+    }
+    report
+}
+
+/// Figure 12: IP dataset1, destIP keys.
+pub(super) fn fig12(scale: DatasetScale) -> ExperimentReport {
+    let view = datasets::ip_dataset1(scale).colocated(IpKey::DestIp);
+    size_figure(
+        "fig12",
+        "IP dataset1 destIP — nΣV vs combined sample size",
+        &view,
+        &[0, 1, 2, 3],
+        scale,
+    )
+}
+
+/// Figure 13: IP dataset1, 4-tuple keys.
+pub(super) fn fig13(scale: DatasetScale) -> ExperimentReport {
+    let view = datasets::ip_dataset1(scale).colocated(IpKey::FourTuple);
+    size_figure(
+        "fig13",
+        "IP dataset1 4tuple — nΣV vs combined sample size",
+        &view,
+        &[0, 1, 2],
+        scale,
+    )
+}
+
+/// Figure 14: IP dataset2, destIP keys.
+pub(super) fn fig14(scale: DatasetScale) -> ExperimentReport {
+    let view = datasets::ip_dataset2(scale).colocated(IpKey::DestIp);
+    size_figure(
+        "fig14",
+        "IP dataset2 destIP — nΣV vs combined sample size",
+        &view,
+        &[0, 1, 2, 3],
+        scale,
+    )
+}
+
+/// Figure 15: IP dataset2, 4-tuple keys.
+pub(super) fn fig15(scale: DatasetScale) -> ExperimentReport {
+    let view = datasets::ip_dataset2(scale).colocated(IpKey::FourTuple);
+    size_figure(
+        "fig15",
+        "IP dataset2 4tuple — nΣV vs combined sample size",
+        &view,
+        &[0, 1, 2],
+        scale,
+    )
+}
+
+/// Figure 16: stocks, high and volume attributes.
+pub(super) fn fig16(scale: DatasetScale) -> ExperimentReport {
+    let stocks = datasets::stocks(scale);
+    let view = stocks.colocated_day(0);
+    let high = view.assignment_named("high").expect("high attribute exists");
+    let volume = view.assignment_named("volume").expect("volume attribute exists");
+    size_figure(
+        "fig16",
+        "Stocks — nΣV vs combined sample size (high, volume)",
+        &view,
+        &[high, volume],
+        scale,
+    )
+}
+
+/// Figure 17: sharing index of coordinated vs independent summaries.
+pub(super) fn fig17(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs().min(25);
+    let mut report = ExperimentReport::new(
+        "fig17",
+        "Sharing index |S| / (k·|W|) of coordinated vs independent colocated summaries",
+    );
+    report.note(
+        "Coordinated summaries minimize the expected number of distinct keys (Theorem 4.2), so \
+         their sharing index is always the lower curve.",
+    );
+    let ip1 = datasets::ip_dataset1(scale);
+    report.push_table(sharing_panel(&ip1.colocated(IpKey::DestIp), &ks, runs));
+    report.push_table(sharing_panel(&ip1.colocated(IpKey::FourTuple), &ks, runs));
+    let ip2 = datasets::ip_dataset2(scale);
+    report.push_table(sharing_panel(&ip2.colocated(IpKey::DestIp), &ks, runs));
+    report.push_table(sharing_panel(&ip2.colocated(IpKey::FourTuple), &ks, runs));
+    let stocks = datasets::stocks(scale);
+    report.push_table(sharing_panel(&stocks.colocated_day(0), &ks, runs));
+    report
+}

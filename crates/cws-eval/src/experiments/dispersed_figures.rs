@@ -1,0 +1,244 @@
+//! Dispersed-model figures: Figure 3 (coordination vs independence), Figures
+//! 4–7 (multi-assignment vs single-assignment variance), Figure 8 (s-set vs
+//! l-set).
+
+use cws_data::ip::{IpAttribute, IpKey};
+use cws_data::stocks::StockAttribute;
+
+use crate::datasets::{self, DatasetScale};
+use crate::report::ExperimentReport;
+
+use super::{dispersed_variance_panels, min_ratio_panel, s_vs_l_panel};
+
+/// Figure 3: ratio of ΣV of the min estimator over independent vs coordinated
+/// sketches, for every data set.
+pub(super) fn fig3(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig3",
+        "ΣV[min over independent sketches] / ΣV[min-l over coordinated sketches] vs k",
+    );
+    report.note(
+        "The ratio grows with the number of assignments |R| and stays ≫ 1 even for large k \
+         (orders of magnitude in the paper).",
+    );
+
+    let ip1 = datasets::ip_dataset1(scale);
+    for (key, attribute) in [
+        (IpKey::DestIp, IpAttribute::Flows),
+        (IpKey::DestIp, IpAttribute::Bytes),
+        (IpKey::FourTuple, IpAttribute::Packets),
+        (IpKey::FourTuple, IpAttribute::Bytes),
+    ] {
+        let view = ip1.dispersed(key, attribute);
+        report.push_table(min_ratio_panel(&view, &[0, 1], &ks, runs));
+    }
+
+    let ip2 = datasets::ip_dataset2(scale);
+    for key in [IpKey::DestIp, IpKey::FourTuple] {
+        let view = ip2.dispersed(key, IpAttribute::Bytes);
+        report.push_table(min_ratio_panel(&view, &[0, 1], &ks, runs));
+        report.push_table(min_ratio_panel(&view, &[0, 1, 2, 3], &ks, runs));
+    }
+
+    let netflix = datasets::ratings(scale);
+    for months in [2usize, 6, 12] {
+        let r: Vec<usize> = (0..months).collect();
+        report.push_table(min_ratio_panel(netflix.dataset(), &r, &ks, runs));
+    }
+
+    let stocks = datasets::stocks(scale);
+    for attribute in [StockAttribute::High, StockAttribute::Volume] {
+        let view = stocks.dispersed(attribute);
+        for days in [2usize, 5, 23] {
+            let r: Vec<usize> = (0..days).collect();
+            report.push_table(min_ratio_panel(&view, &r, &ks, runs));
+        }
+    }
+    report
+}
+
+/// Figure 4: IP dataset1 — ΣV and nΣV of the multi-assignment estimators vs
+/// the single-assignment baselines.
+pub(super) fn fig4(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "IP dataset1 — ΣV and nΣV of min-l / max / L1-l vs per-period estimators",
+    );
+    report.note(
+        "Multi-assignment estimators over coordinated sketches stay within an order of magnitude \
+         of the single-assignment (per-period) estimators; the independent-sketches min is far \
+         worse.",
+    );
+    let ip1 = datasets::ip_dataset1(scale);
+    for (key, attribute) in [
+        (IpKey::DestIp, IpAttribute::Flows),
+        (IpKey::DestIp, IpAttribute::Bytes),
+        (IpKey::FourTuple, IpAttribute::Packets),
+        (IpKey::FourTuple, IpAttribute::Bytes),
+    ] {
+        let view = ip1.dispersed(key, attribute);
+        let (sigma, normalized) = dispersed_variance_panels(&view, &[0, 1], &ks, runs);
+        report.push_table(sigma);
+        report.push_table(normalized);
+    }
+    report
+}
+
+/// Figure 5: IP dataset2 — same panels for hour sets {1,2} and {1,2,3,4}.
+pub(super) fn fig5(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig5",
+        "IP dataset2 — ΣV and nΣV for hour sets {1,2} and {1,2,3,4}",
+    );
+    let ip2 = datasets::ip_dataset2(scale);
+    for key in [IpKey::DestIp, IpKey::FourTuple] {
+        let view = ip2.dispersed(key, IpAttribute::Bytes);
+        for r in [vec![0usize, 1], vec![0, 1, 2, 3]] {
+            let (sigma, normalized) = dispersed_variance_panels(&view, &r, &ks, runs);
+            report.push_table(sigma);
+            report.push_table(normalized);
+        }
+    }
+    report
+}
+
+/// Figure 6: the ratings data set — month ranges {1,2}, {1..6}, {1..12}.
+pub(super) fn fig6(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report =
+        ExperimentReport::new("fig6", "Ratings data set — ΣV and nΣV for month ranges");
+    let netflix = datasets::ratings(scale);
+    for months in [2usize, 6, 12] {
+        let r: Vec<usize> = (0..months).collect();
+        // Only show the first/last single-assignment baselines to keep the
+        // table readable for wide month ranges.
+        let shown: Vec<usize> = if months <= 2 { r.clone() } else { vec![0, months - 1] };
+        let (sigma, normalized) =
+            dispersed_variance_panels_with_baselines(netflix.dataset(), &r, &shown, &ks, runs);
+        report.push_table(sigma);
+        report.push_table(normalized);
+    }
+    report
+}
+
+/// Figure 7: the stock data set — high and volume attributes for day ranges.
+pub(super) fn fig7(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report =
+        ExperimentReport::new("fig7", "Stocks data set — ΣV and nΣV for trading-day ranges");
+    let stocks = datasets::stocks(scale);
+    for attribute in [StockAttribute::High, StockAttribute::Volume] {
+        let view = stocks.dispersed(attribute);
+        for days in [2usize, 5, 23] {
+            let r: Vec<usize> = (0..days).collect();
+            let shown: Vec<usize> = if days <= 2 { r.clone() } else { vec![0, days - 1] };
+            let (sigma, normalized) =
+                dispersed_variance_panels_with_baselines(&view, &r, &shown, &ks, runs);
+            report.push_table(sigma);
+            report.push_table(normalized);
+        }
+    }
+    report
+}
+
+/// Figure 8: ΣV ratio of the s-set to the l-set estimators for min and L1.
+pub(super) fn fig8(scale: DatasetScale) -> ExperimentReport {
+    let ks = scale.k_sweep();
+    let runs = scale.runs();
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "s-set vs l-set estimators — ΣV[·-s] / ΣV[·-l] for min and L1",
+    );
+    report.note("Ratios are ≥ 1 (Lemma 5.1); the advantage of the l-set varies by data set.");
+
+    let ip1 = datasets::ip_dataset1(scale);
+    report.push_table(s_vs_l_panel(&ip1.dispersed(IpKey::DestIp, IpAttribute::Bytes), &[0, 1], &ks, runs));
+    let ip2 = datasets::ip_dataset2(scale);
+    report.push_table(s_vs_l_panel(
+        &ip2.dispersed(IpKey::DestIp, IpAttribute::Bytes),
+        &[0, 1, 2, 3],
+        &ks,
+        runs,
+    ));
+    let netflix = datasets::ratings(scale);
+    for months in [2usize, 12] {
+        let r: Vec<usize> = (0..months).collect();
+        report.push_table(s_vs_l_panel(netflix.dataset(), &r, &ks, runs));
+    }
+    let stocks = datasets::stocks(scale);
+    for attribute in [StockAttribute::High, StockAttribute::Volume] {
+        let view = stocks.dispersed(attribute);
+        for days in [2usize, 23] {
+            let r: Vec<usize> = (0..days).collect();
+            report.push_table(s_vs_l_panel(&view, &r, &ks, runs));
+        }
+    }
+    report
+}
+
+/// Like [`super::dispersed_variance_panels`] but showing only a subset of the
+/// single-assignment baselines (used when |R| is large).
+fn dispersed_variance_panels_with_baselines(
+    dataset: &cws_data::dataset::LabeledDataset,
+    relevant: &[usize],
+    shown_baselines: &[usize],
+    ks: &[usize],
+    runs: u32,
+) -> (crate::report::Table, crate::report::Table) {
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::estimate::dispersed::SelectionKind;
+
+    use crate::measure::{measure_dispersed, EstimatorSpec};
+    use crate::report::{fmt, Table};
+
+    let mut columns = vec!["k".to_string(), "ind min".to_string()];
+    for &b in shown_baselines {
+        columns.push(dataset.label(b).to_string());
+    }
+    columns.extend(["coord min-l", "coord max", "coord L1-l"].map(str::to_string));
+    let title = format!("{} (|R|={})", dataset.name, relevant.len());
+    let mut sigma = Table::new(format!("{title} — sum of square errors"), columns.clone());
+    let mut normalized =
+        Table::new(format!("{title} — normalized sum of square errors"), columns);
+
+    let mut coordinated_specs: Vec<EstimatorSpec> =
+        shown_baselines.iter().map(|&b| EstimatorSpec::DispersedSingle(b)).collect();
+    coordinated_specs.push(EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet));
+    coordinated_specs.push(EstimatorSpec::DispersedMax(relevant.to_vec()));
+    coordinated_specs.push(EstimatorSpec::DispersedL1(relevant.to_vec(), SelectionKind::LSet));
+    let independent_spec = vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
+
+    for &k in &super::usable_ks(ks, dataset.num_keys()) {
+        let coordinated = measure_dispersed(
+            &dataset.data,
+            &super::base_config(k, CoordinationMode::SharedSeed),
+            &coordinated_specs,
+            runs,
+        )
+        .expect("coordinated estimators are defined");
+        let independent = measure_dispersed(
+            &dataset.data,
+            &super::base_config(k, CoordinationMode::Independent),
+            &independent_spec,
+            runs,
+        )
+        .expect("independent min is defined");
+        let mut sigma_row = vec![k.to_string(), fmt(independent[0].sigma_v)];
+        let mut norm_row = vec![k.to_string(), fmt(independent[0].n_sigma_v)];
+        for measurement in &coordinated {
+            sigma_row.push(fmt(measurement.sigma_v));
+            norm_row.push(fmt(measurement.n_sigma_v));
+        }
+        sigma.push_row(sigma_row);
+        normalized.push_row(norm_row);
+    }
+    (sigma, normalized)
+}

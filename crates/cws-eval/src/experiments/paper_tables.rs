@@ -1,0 +1,138 @@
+//! The data-description tables of the paper (Tables 2–4), regenerated from
+//! the synthetic stand-in data sets so that every figure is internally
+//! consistent with them.
+
+use cws_core::aggregates::{exact_aggregate, AggregateFn};
+use cws_data::ip::{IpAttribute, IpKey};
+use cws_data::stocks::{StockAttribute, STOCK_ATTRIBUTES};
+
+use crate::datasets::{self, DatasetScale};
+use crate::report::{fmt, ExperimentReport, Table};
+
+use super::totals_row;
+
+/// Table 2: totals of the two-period dispersed views of IP dataset1.
+pub(super) fn table2(scale: DatasetScale) -> ExperimentReport {
+    let trace = datasets::ip_dataset1(scale);
+    let mut report = ExperimentReport::new("table2", "IP dataset1 — dispersed two-period totals");
+    report.note(
+        "Synthetic stand-in for the paper's gateway trace; columns mirror Table 2: per-period \
+         totals and the max / min / L1 totals across the two periods.",
+    );
+    let mut table = Table::new(
+        "per key/weight combination",
+        vec![
+            "key, weight".to_string(),
+            "distinct keys".to_string(),
+            "sum w(1)".to_string(),
+            "sum w(2)".to_string(),
+            "sum max".to_string(),
+            "sum min".to_string(),
+            "sum L1".to_string(),
+        ],
+    );
+    for (key, key_label) in [(IpKey::DestIp, "destIP"), (IpKey::FourTuple, "srcIP+destIP 4tuple")] {
+        for attribute in [IpAttribute::Flows, IpAttribute::Bytes, IpAttribute::Packets] {
+            if key == IpKey::FourTuple && attribute == IpAttribute::Flows {
+                continue; // degenerate (one flow per 4-tuple)
+            }
+            let view = trace.dispersed(key, attribute);
+            table.push_row(totals_row(&view, &format!("{key_label}, {}", attribute.label())));
+        }
+    }
+    report.push_table(table);
+    report
+}
+
+/// Table 3: the ratings (Netflix stand-in) data set — monthly totals and
+/// min/max/L1 over month prefixes.
+pub(super) fn table3(scale: DatasetScale) -> ExperimentReport {
+    let ratings = datasets::ratings(scale);
+    let dataset = ratings.dataset();
+    let mut report =
+        ExperimentReport::new("table3", "Ratings data set — monthly totals and prefix aggregates");
+    report.note("Synthetic stand-in for the Netflix Prize monthly rating counts (Table 3).");
+
+    let mut monthly = Table::new(
+        "per month",
+        vec!["month".to_string(), "movies with ratings".to_string(), "ratings".to_string()],
+    );
+    for month in 0..dataset.num_assignments() {
+        monthly.push_row(vec![
+            dataset.label(month).to_string(),
+            dataset.data.assignment_support(month).to_string(),
+            fmt(dataset.data.assignment_total(month)),
+        ]);
+    }
+    report.push_table(monthly);
+
+    let mut prefixes = Table::new(
+        "month ranges",
+        vec![
+            "months".to_string(),
+            "sum min".to_string(),
+            "sum max".to_string(),
+            "sum L1".to_string(),
+        ],
+    );
+    for months in [2usize, 6, 12] {
+        let r: Vec<usize> = (0..months).collect();
+        prefixes.push_row(vec![
+            format!("1-{months}"),
+            fmt(exact_aggregate(&dataset.data, &AggregateFn::Min(r.clone()), |_| true)),
+            fmt(exact_aggregate(&dataset.data, &AggregateFn::Max(r.clone()), |_| true)),
+            fmt(exact_aggregate(&dataset.data, &AggregateFn::L1(r), |_| true)),
+        ]);
+    }
+    report.push_table(prefixes);
+    report
+}
+
+/// Table 4: the stock data set — daily totals per attribute, plus the
+/// min/max/L1 totals over trading-day prefixes for the dispersed views.
+pub(super) fn table4(scale: DatasetScale) -> ExperimentReport {
+    let stocks = datasets::stocks(scale);
+    let days = stocks.config().num_days;
+    let mut report = ExperimentReport::new("table4", "Stocks data set — daily attribute totals");
+    report.note("Synthetic stand-in for the October-2008 stock quotes (Table 4).");
+
+    let mut daily = Table::new(
+        "daily totals",
+        std::iter::once("day".to_string())
+            .chain(STOCK_ATTRIBUTES.iter().map(|s| (*s).to_string()))
+            .collect(),
+    );
+    for day in 0..days {
+        let view = stocks.colocated_day(day);
+        let mut row = vec![format!("{}", day + 1)];
+        for b in 0..6 {
+            row.push(fmt(view.data.assignment_total(b)));
+        }
+        daily.push_row(row);
+    }
+    report.push_table(daily);
+
+    let mut prefixes = Table::new(
+        "trading-day ranges (dispersed views)",
+        vec![
+            "attribute, days".to_string(),
+            "sum min".to_string(),
+            "sum max".to_string(),
+            "sum L1".to_string(),
+        ],
+    );
+    for attribute in [StockAttribute::High, StockAttribute::Volume] {
+        let view = stocks.dispersed(attribute);
+        for prefix in [2usize, 5, 10, 15, days] {
+            let r: Vec<usize> = (0..prefix.min(days)).collect();
+            prefixes.push_row(vec![
+                format!("{}, 1-{}", attribute.label(), r.len()),
+                fmt(exact_aggregate(&view.data, &AggregateFn::Min(r.clone()), |_| true)),
+                fmt(exact_aggregate(&view.data, &AggregateFn::Max(r.clone()), |_| true)),
+                fmt(exact_aggregate(&view.data, &AggregateFn::L1(r), |_| true)),
+            ]);
+        }
+    }
+    report.push_table(prefixes);
+    report
+}

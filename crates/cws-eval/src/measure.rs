@@ -1,0 +1,426 @@
+//! Monte-Carlo measurement of estimator quality.
+//!
+//! The paper reports the sum of per-key variances `ΣV[a] = Σ_i VAR[a(i)]` and
+//! the normalized `nΣV = ΣV / (Σ_i f(i))²`, approximated "by averaging square
+//! errors over multiple (25–200) runs of the sampling algorithm" (Section 9).
+//! This module implements exactly that: for each run the summary is rebuilt
+//! with a fresh hash seed, every estimator under study is evaluated on it,
+//! and the per-key squared errors against the exact values are accumulated.
+
+use cws_core::aggregates::{exact_per_key, AggregateFn};
+use cws_core::error::Result;
+use cws_core::estimate::adjusted::AdjustedWeights;
+use cws_core::estimate::colocated::{InclusiveEstimator, PlainEstimator};
+use cws_core::estimate::dispersed::{DispersedEstimator, SelectionKind};
+use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+use cws_core::weights::MultiWeighted;
+use serde::Serialize;
+
+/// An estimator under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorSpec {
+    /// Plain RC estimator on the embedded sketch of one assignment
+    /// (dispersed summaries) — the single-assignment baseline `t^(b)`.
+    DispersedSingle(usize),
+    /// Dispersed `max_R` estimator (coordinated sketches only).
+    DispersedMax(Vec<usize>),
+    /// Dispersed `min_R` estimator with the chosen selection rule.
+    DispersedMin(Vec<usize>, SelectionKind),
+    /// Dispersed `L1_R` estimator with the chosen selection rule for the min
+    /// part (coordinated sketches only).
+    DispersedL1(Vec<usize>, SelectionKind),
+    /// Inclusive estimator of an aggregate over a colocated summary.
+    ColocatedInclusive(AggregateFn),
+    /// Plain single-sketch estimator of one assignment over a colocated
+    /// summary.
+    ColocatedPlain(usize),
+}
+
+impl EstimatorSpec {
+    /// The aggregate whose per-key values are the ground truth for this
+    /// estimator.
+    #[must_use]
+    pub fn target(&self) -> AggregateFn {
+        match self {
+            EstimatorSpec::DispersedSingle(b) | EstimatorSpec::ColocatedPlain(b) => {
+                AggregateFn::SingleAssignment(*b)
+            }
+            EstimatorSpec::DispersedMax(r) => AggregateFn::Max(r.clone()),
+            EstimatorSpec::DispersedMin(r, _) => AggregateFn::Min(r.clone()),
+            EstimatorSpec::DispersedL1(r, _) => AggregateFn::L1(r.clone()),
+            EstimatorSpec::ColocatedInclusive(f) => f.clone(),
+        }
+    }
+
+    /// `true` for specs evaluated over dispersed summaries.
+    #[must_use]
+    pub fn is_dispersed(&self) -> bool {
+        matches!(
+            self,
+            EstimatorSpec::DispersedSingle(_)
+                | EstimatorSpec::DispersedMax(_)
+                | EstimatorSpec::DispersedMin(..)
+                | EstimatorSpec::DispersedL1(..)
+        )
+    }
+
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            EstimatorSpec::DispersedSingle(b) => format!("single({b})"),
+            EstimatorSpec::DispersedMax(_) => "coord max".to_string(),
+            EstimatorSpec::DispersedMin(_, SelectionKind::SSet) => "min-s".to_string(),
+            EstimatorSpec::DispersedMin(_, SelectionKind::LSet) => "min-l".to_string(),
+            EstimatorSpec::DispersedL1(_, SelectionKind::SSet) => "L1-s".to_string(),
+            EstimatorSpec::DispersedL1(_, SelectionKind::LSet) => "L1-l".to_string(),
+            EstimatorSpec::ColocatedInclusive(f) => format!("inclusive {}", f.label()),
+            EstimatorSpec::ColocatedPlain(b) => format!("plain w({b})"),
+        }
+    }
+
+    /// Evaluates the spec on a dispersed summary.
+    ///
+    /// # Errors
+    /// Propagates estimator errors (unsupported configuration, bad indices).
+    pub fn evaluate_dispersed(&self, summary: &DispersedSummary) -> Result<AdjustedWeights> {
+        let estimator = DispersedEstimator::new(summary);
+        match self {
+            EstimatorSpec::DispersedSingle(b) => estimator.single(*b),
+            EstimatorSpec::DispersedMax(r) => estimator.max(r),
+            EstimatorSpec::DispersedMin(r, kind) => estimator.min(r, *kind),
+            EstimatorSpec::DispersedL1(r, kind) => estimator.l1(r, *kind),
+            _ => Err(cws_core::CwsError::UnsupportedEstimator {
+                estimator: "colocated spec",
+                reason: "evaluated against a dispersed summary",
+            }),
+        }
+    }
+
+    /// Evaluates the spec on a colocated summary.
+    ///
+    /// # Errors
+    /// Propagates estimator errors (unsupported configuration, bad indices).
+    pub fn evaluate_colocated(&self, summary: &ColocatedSummary) -> Result<AdjustedWeights> {
+        match self {
+            EstimatorSpec::ColocatedInclusive(f) => InclusiveEstimator::new(summary).aggregate(f),
+            EstimatorSpec::ColocatedPlain(b) => PlainEstimator::new(summary).single(*b),
+            _ => Err(cws_core::CwsError::UnsupportedEstimator {
+                estimator: "dispersed spec",
+                reason: "evaluated against a colocated summary",
+            }),
+        }
+    }
+}
+
+/// The outcome of a Monte-Carlo variance measurement for one estimator.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct VarianceMeasurement {
+    /// Label of the estimator.
+    pub estimator: String,
+    /// Estimated sum of per-key variances `ΣV`.
+    pub sigma_v: f64,
+    /// Normalized `nΣV = ΣV / (Σ_i f(i))²`.
+    pub n_sigma_v: f64,
+    /// Exact aggregate value `Σ_i f(i)`.
+    pub exact_total: f64,
+    /// Mean of the full-population estimates across runs (sanity check for
+    /// unbiasedness).
+    pub mean_estimate: f64,
+    /// Number of Monte-Carlo runs.
+    pub runs: u32,
+}
+
+/// Accumulates squared errors for one estimator across runs.
+struct Accumulator {
+    spec: EstimatorSpec,
+    exact_by_key: std::collections::HashMap<u64, f64>,
+    sum_squares_exact: f64,
+    exact_total: f64,
+    squared_error_sum: f64,
+    estimate_sum: f64,
+}
+
+impl Accumulator {
+    fn new(spec: EstimatorSpec, data: &MultiWeighted) -> Self {
+        let per_key_exact = exact_per_key(data, &spec.target());
+        let sum_squares_exact = per_key_exact.iter().map(|&(_, f)| f * f).sum();
+        let exact_total = per_key_exact.iter().map(|&(_, f)| f).sum();
+        Self {
+            spec,
+            exact_by_key: per_key_exact.into_iter().collect(),
+            sum_squares_exact,
+            exact_total,
+            squared_error_sum: 0.0,
+            estimate_sum: 0.0,
+        }
+    }
+
+    /// Adds one run's adjusted weights.
+    fn add(&mut self, adjusted: &AdjustedWeights) {
+        // Σ_i (a(i) − f(i))² = Σ_i f(i)² + Σ_{i ∈ sample} (a(i)² − 2 a(i) f(i)).
+        // Keys outside the sample contribute exactly f(i)², which is already
+        // part of the first term.
+        let mut error = self.sum_squares_exact;
+        let mut total = 0.0;
+        for (key, a) in adjusted.iter() {
+            let f = self.exact_by_key.get(&key).copied().unwrap_or(0.0);
+            error += a * a - 2.0 * a * f;
+            total += a;
+        }
+        self.squared_error_sum += error;
+        self.estimate_sum += total;
+    }
+
+    fn finish(self, runs: u32) -> VarianceMeasurement {
+        let sigma_v = self.squared_error_sum / f64::from(runs);
+        let n_sigma_v = cws_core::variance::normalized_sigma_v(sigma_v, self.exact_total);
+        VarianceMeasurement {
+            estimator: self.spec.label(),
+            sigma_v,
+            n_sigma_v,
+            exact_total: self.exact_total,
+            mean_estimate: self.estimate_sum / f64::from(runs),
+            runs,
+        }
+    }
+}
+
+/// Measures `ΣV` / `nΣV` for dispersed-summary estimators.
+///
+/// The summary is rebuilt once per run (with seeds derived from
+/// `config.seed` and the run index) and every spec is evaluated on it, so the
+/// per-run sampling cost is shared across estimators exactly as in the
+/// paper's evaluation.
+///
+/// # Errors
+/// Propagates estimator errors (e.g. a `max` spec over independent
+/// sketches).
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn measure_dispersed(
+    data: &MultiWeighted,
+    config: &SummaryConfig,
+    specs: &[EstimatorSpec],
+    runs: u32,
+) -> Result<Vec<VarianceMeasurement>> {
+    assert!(runs > 0, "at least one run is required");
+    let mut accumulators: Vec<Accumulator> =
+        specs.iter().map(|spec| Accumulator::new(spec.clone(), data)).collect();
+    for run in 0..runs {
+        let summary = DispersedSummary::build(data, &run_config(config, run));
+        for accumulator in &mut accumulators {
+            let adjusted = accumulator.spec.evaluate_dispersed(&summary)?;
+            accumulator.add(&adjusted);
+        }
+    }
+    Ok(accumulators.into_iter().map(|a| a.finish(runs)).collect())
+}
+
+/// Measures `ΣV` / `nΣV` for colocated-summary estimators.
+///
+/// # Errors
+/// Propagates estimator errors.
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn measure_colocated(
+    data: &MultiWeighted,
+    config: &SummaryConfig,
+    specs: &[EstimatorSpec],
+    runs: u32,
+) -> Result<Vec<VarianceMeasurement>> {
+    assert!(runs > 0, "at least one run is required");
+    let mut accumulators: Vec<Accumulator> =
+        specs.iter().map(|spec| Accumulator::new(spec.clone(), data)).collect();
+    for run in 0..runs {
+        let summary = ColocatedSummary::build(data, &run_config(config, run));
+        for accumulator in &mut accumulators {
+            let adjusted = accumulator.spec.evaluate_colocated(&summary)?;
+            accumulator.add(&adjusted);
+        }
+    }
+    Ok(accumulators.into_iter().map(|a| a.finish(runs)).collect())
+}
+
+/// Summary-size statistics of colocated summaries (Figures 12–17).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SizeMeasurement {
+    /// Mean number of distinct keys in the summary across runs.
+    pub mean_distinct_keys: f64,
+    /// Mean sharing index `|S| / (k · |W|)`.
+    pub mean_sharing_index: f64,
+    /// Number of Monte-Carlo runs.
+    pub runs: u32,
+}
+
+/// Measures the combined sample size and the sharing index of colocated
+/// summaries.
+///
+/// # Panics
+/// Panics if `runs == 0`.
+#[must_use]
+pub fn measure_colocated_size(
+    data: &MultiWeighted,
+    config: &SummaryConfig,
+    runs: u32,
+) -> SizeMeasurement {
+    assert!(runs > 0, "at least one run is required");
+    let mut distinct = 0.0;
+    let mut sharing = 0.0;
+    for run in 0..runs {
+        let summary = ColocatedSummary::build(data, &run_config(config, run));
+        distinct += summary.num_distinct_keys() as f64;
+        sharing += summary.sharing_index();
+    }
+    SizeMeasurement {
+        mean_distinct_keys: distinct / f64::from(runs),
+        mean_sharing_index: sharing / f64::from(runs),
+        runs,
+    }
+}
+
+/// Mean number of distinct keys of dispersed summaries (the storage cost
+/// coordination minimizes, Theorem 4.2).
+///
+/// # Panics
+/// Panics if `runs == 0`.
+#[must_use]
+pub fn measure_dispersed_size(data: &MultiWeighted, config: &SummaryConfig, runs: u32) -> f64 {
+    assert!(runs > 0, "at least one run is required");
+    let mut distinct = 0.0;
+    for run in 0..runs {
+        let summary = DispersedSummary::build(data, &run_config(config, run));
+        distinct += summary.num_distinct_keys() as f64;
+    }
+    distinct / f64::from(runs)
+}
+
+/// The configuration used for one Monte-Carlo run: a deterministic
+/// derivation of the base seed.
+fn run_config(config: &SummaryConfig, run: u32) -> SummaryConfig {
+    config.with_seed(cws_hash::mix64(config.seed ^ (u64::from(run) + 1).wrapping_mul(0x9E37)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_data::synthetic::correlated_zipf;
+
+    fn data() -> MultiWeighted {
+        correlated_zipf(400, 3, 1.1, 0.8, 0.15, 21)
+    }
+
+    fn config(mode: CoordinationMode) -> SummaryConfig {
+        SummaryConfig::new(40, RankFamily::Ipps, mode, 5)
+    }
+
+    #[test]
+    fn dispersed_measurement_reports_all_specs_and_is_unbiased() {
+        let data = data();
+        let specs = vec![
+            EstimatorSpec::DispersedSingle(0),
+            EstimatorSpec::DispersedMax(vec![0, 1, 2]),
+            EstimatorSpec::DispersedMin(vec![0, 1, 2], SelectionKind::LSet),
+            EstimatorSpec::DispersedL1(vec![0, 1, 2], SelectionKind::LSet),
+        ];
+        let results =
+            measure_dispersed(&data, &config(CoordinationMode::SharedSeed), &specs, 150).unwrap();
+        assert_eq!(results.len(), 4);
+        for result in &results {
+            assert!(result.sigma_v >= 0.0);
+            assert!(result.n_sigma_v >= 0.0);
+            assert!(result.exact_total > 0.0);
+            assert!(
+                (result.mean_estimate - result.exact_total).abs()
+                    <= result.exact_total * 0.25,
+                "{}: mean {} vs exact {}",
+                result.estimator,
+                result.mean_estimate,
+                result.exact_total
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_reduces_min_variance() {
+        let data = data();
+        let spec = vec![EstimatorSpec::DispersedMin(vec![0, 1, 2], SelectionKind::LSet)];
+        let coordinated =
+            measure_dispersed(&data, &config(CoordinationMode::SharedSeed), &spec, 120).unwrap();
+        let independent =
+            measure_dispersed(&data, &config(CoordinationMode::Independent), &spec, 120).unwrap();
+        assert!(
+            independent[0].sigma_v > coordinated[0].sigma_v * 2.0,
+            "independent {} vs coordinated {}",
+            independent[0].sigma_v,
+            coordinated[0].sigma_v
+        );
+    }
+
+    #[test]
+    fn colocated_measurement_inclusive_beats_plain() {
+        let data = data();
+        let specs = vec![
+            EstimatorSpec::ColocatedInclusive(AggregateFn::SingleAssignment(1)),
+            EstimatorSpec::ColocatedPlain(1),
+        ];
+        let results =
+            measure_colocated(&data, &config(CoordinationMode::SharedSeed), &specs, 150).unwrap();
+        assert!(results[0].sigma_v <= results[1].sigma_v * 1.05);
+        assert!(results[0].n_sigma_v <= results[1].n_sigma_v * 1.05);
+    }
+
+    #[test]
+    fn max_over_independent_sketches_is_an_error() {
+        let data = data();
+        let specs = vec![EstimatorSpec::DispersedMax(vec![0, 1])];
+        assert!(
+            measure_dispersed(&data, &config(CoordinationMode::Independent), &specs, 10).is_err()
+        );
+    }
+
+    #[test]
+    fn size_measurements_are_sensible() {
+        let data = data();
+        let coordinated =
+            measure_colocated_size(&data, &config(CoordinationMode::SharedSeed), 30);
+        let independent =
+            measure_colocated_size(&data, &config(CoordinationMode::Independent), 30);
+        assert!(coordinated.mean_distinct_keys < independent.mean_distinct_keys);
+        assert!(coordinated.mean_sharing_index >= 1.0 / 3.0 - 1e-9);
+        assert!(independent.mean_sharing_index <= 1.0);
+
+        let disp_coord =
+            measure_dispersed_size(&data, &config(CoordinationMode::SharedSeed), 30);
+        let disp_ind =
+            measure_dispersed_size(&data, &config(CoordinationMode::Independent), 30);
+        assert!(disp_coord < disp_ind);
+    }
+
+    #[test]
+    fn spec_helpers() {
+        let spec = EstimatorSpec::DispersedMin(vec![0, 1], SelectionKind::SSet);
+        assert!(spec.is_dispersed());
+        assert_eq!(spec.label(), "min-s");
+        assert_eq!(spec.target(), AggregateFn::Min(vec![0, 1]));
+        let spec = EstimatorSpec::ColocatedPlain(2);
+        assert!(!spec.is_dispersed());
+        assert_eq!(spec.target(), AggregateFn::SingleAssignment(2));
+    }
+
+    #[test]
+    fn mismatched_spec_and_summary_type_is_an_error() {
+        let data = data();
+        let cfg = config(CoordinationMode::SharedSeed);
+        let dispersed = DispersedSummary::build(&data, &cfg);
+        let colocated = ColocatedSummary::build(&data, &cfg);
+        let c_spec = EstimatorSpec::ColocatedPlain(0);
+        let d_spec = EstimatorSpec::DispersedSingle(0);
+        assert!(c_spec.evaluate_dispersed(&dispersed).is_err());
+        assert!(d_spec.evaluate_colocated(&colocated).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Conversion of 64-bit hash words to uniform floating-point values.
+
+/// Maps a 64-bit word to the half-open unit interval `[0, 1)`.
+///
+/// Uses the top 53 bits so every representable output is an exact multiple of
+/// `2^-53`; the result is never `1.0`.
+#[inline]
+#[must_use]
+pub fn u64_to_unit(x: u64) -> f64 {
+    // 2^-53
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    ((x >> 11) as f64) * SCALE
+}
+
+/// Maps a 64-bit word to the open unit interval `(0, 1)`.
+///
+/// Rank distributions such as EXP take `-ln(1 - u)`, and IPPS ranks divide by
+/// the weight, so a seed that is exactly `0` or `1` would produce degenerate
+/// (infinite or zero) ranks for *every* assignment. This mapping nudges the
+/// 53-bit value to the centre of its cell, guaranteeing `0 < u < 1`.
+#[inline]
+#[must_use]
+pub fn u64_to_open01(x: u64) -> f64 {
+    // Use 52 bits so that `(x >> 12) + 0.5` is exactly representable as an
+    // f64 even for the maximal input, keeping the result strictly below 1.
+    const SCALE: f64 = 1.0 / (1u64 << 52) as f64;
+    (((x >> 12) as f64) + 0.5) * SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_bounds() {
+        assert_eq!(u64_to_unit(0), 0.0);
+        assert!(u64_to_unit(u64::MAX) < 1.0);
+        assert!(u64_to_unit(u64::MAX) > 0.999_999_999);
+    }
+
+    #[test]
+    fn open01_bounds() {
+        assert!(u64_to_open01(0) > 0.0);
+        assert!(u64_to_open01(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_top_bits() {
+        let a = u64_to_unit(1u64 << 62);
+        let b = u64_to_unit(1u64 << 63);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        // Deterministic low-discrepancy sweep over the input space.
+        let n = 1u64 << 16;
+        let step = u64::MAX / n;
+        let mean: f64 = (0..n).map(|i| u64_to_unit(i * step)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 1e-3, "mean {mean}");
+    }
+}

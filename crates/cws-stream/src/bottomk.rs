@@ -1,0 +1,154 @@
+//! Single-assignment bottom-k stream sampler.
+
+use cws_core::coordination::RankGenerator;
+use cws_core::error::Result;
+use cws_core::sketch::bottomk::BottomKSketch;
+use cws_core::Key;
+
+use crate::candidate::CandidateSet;
+
+/// A one-pass, `O(k)`-state bottom-k sampler for a single weight assignment.
+///
+/// Ranks are derived from the key and the shared hash seed, so independently
+/// running samplers (different time periods, different sites) produce
+/// *coordinated* samples as long as they are constructed from the same
+/// [`RankGenerator`] and assignment index.
+///
+/// The stream must be aggregated: each key may be pushed at most once.
+#[derive(Debug, Clone)]
+pub struct BottomKStreamSampler {
+    generator: RankGenerator,
+    assignment: usize,
+    candidates: CandidateSet,
+    processed: u64,
+}
+
+impl BottomKStreamSampler {
+    /// Creates a sampler for `assignment` with sample size `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(generator: RankGenerator, assignment: usize, k: usize) -> Self {
+        Self { generator, assignment, candidates: CandidateSet::new(k), processed: 0 }
+    }
+
+    /// The assignment this sampler summarizes.
+    #[must_use]
+    pub fn assignment(&self) -> usize {
+        self.assignment
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes one `(key, weight)` record.
+    ///
+    /// # Errors
+    /// Returns an error if the generator's coordination mode cannot produce
+    /// dispersed (per-assignment) ranks — i.e. independent-differences ranks.
+    pub fn push(&mut self, key: Key, weight: f64) -> Result<()> {
+        let rank = self.generator.dispersed_rank(key, weight, self.assignment)?;
+        self.candidates.offer(key, rank, weight);
+        self.processed += 1;
+        Ok(())
+    }
+
+    /// Whether `key` is currently among the candidates (the sample plus the
+    /// key defining `r_{k+1}`).
+    #[must_use]
+    pub fn is_candidate(&self, key: Key) -> bool {
+        self.candidates.contains(key)
+    }
+
+    /// Finalizes the pass into a bottom-k sketch.
+    #[must_use]
+    pub fn finalize(self) -> BottomKSketch {
+        self.candidates.into_sketch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_core::weights::WeightedSet;
+    use cws_hash::SeedSequence;
+
+    fn weighted_set(n: u64) -> WeightedSet {
+        WeightedSet::from_pairs((0..n).map(|k| (k, ((k % 23) + 1) as f64)))
+    }
+
+    #[test]
+    fn stream_sampler_matches_offline_sketch() {
+        let set = weighted_set(2000);
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 42).unwrap();
+        let mut sampler = BottomKStreamSampler::new(generator, 0, 50);
+        for (key, weight) in set.iter() {
+            sampler.push(key, weight).unwrap();
+        }
+        assert_eq!(sampler.processed(), 2000);
+        let streamed = sampler.finalize();
+
+        let offline = BottomKSketch::sample(&set, 50, RankFamily::Ipps, &SeedSequence::new(42));
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn order_of_arrival_does_not_matter() {
+        let set = weighted_set(500);
+        let generator =
+            RankGenerator::new(RankFamily::Exp, CoordinationMode::SharedSeed, 7).unwrap();
+        let mut forward = BottomKStreamSampler::new(generator, 0, 20);
+        let mut backward = BottomKStreamSampler::new(generator, 0, 20);
+        let pairs: Vec<_> = set.iter().collect();
+        for &(key, weight) in &pairs {
+            forward.push(key, weight).unwrap();
+        }
+        for &(key, weight) in pairs.iter().rev() {
+            backward.push(key, weight).unwrap();
+        }
+        assert_eq!(forward.finalize(), backward.finalize());
+    }
+
+    #[test]
+    fn zero_weight_keys_are_skipped() {
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 1).unwrap();
+        let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
+        sampler.push(1, 0.0).unwrap();
+        sampler.push(2, 3.0).unwrap();
+        let sketch = sampler.finalize();
+        assert_eq!(sketch.len(), 1);
+        assert!(!sketch.contains(1));
+    }
+
+    #[test]
+    fn independent_differences_mode_is_rejected() {
+        let generator = RankGenerator::new(
+            RankFamily::Exp,
+            CoordinationMode::IndependentDifferences,
+            1,
+        )
+        .unwrap();
+        let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
+        assert!(sampler.push(1, 2.0).is_err());
+    }
+
+    #[test]
+    fn candidate_membership_is_exposed() {
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 3).unwrap();
+        let mut sampler = BottomKStreamSampler::new(generator, 0, 2);
+        for key in 0..100u64 {
+            sampler.push(key, ((key % 5) + 1) as f64).unwrap();
+        }
+        let candidates = (0..100u64).filter(|&k| sampler.is_candidate(k)).count();
+        assert_eq!(candidates, 3); // k + 1
+    }
+}

@@ -1,0 +1,122 @@
+//! Bounded candidate set shared by the stream samplers: the `k + 1`
+//! smallest-ranked keys seen so far (the bottom-k sample plus the key that
+//! currently defines `r_{k+1}`).
+
+use std::collections::{BinaryHeap, HashSet};
+
+use cws_core::sketch::bottomk::BottomKSketch;
+use cws_core::Key;
+
+/// A candidate entry ordered by rank (max-heap → largest rank on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    rank: f64,
+    key: Key,
+    weight: f64,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank.total_cmp(&other.rank).then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+/// The `k + 1` smallest-ranked keys observed so far.
+#[derive(Debug, Clone)]
+pub(crate) struct CandidateSet {
+    k: usize,
+    heap: BinaryHeap<Candidate>,
+    keys: HashSet<Key>,
+}
+
+impl CandidateSet {
+    pub(crate) fn new(k: usize) -> Self {
+        assert!(k > 0, "sample size k must be positive");
+        Self { k, heap: BinaryHeap::with_capacity(k + 2), keys: HashSet::with_capacity(k + 2) }
+    }
+
+    /// Offers a ranked key; returns the key evicted from the candidate set,
+    /// if any. Infinite ranks (zero weights) are ignored.
+    pub(crate) fn offer(&mut self, key: Key, rank: f64, weight: f64) -> Option<Key> {
+        if !rank.is_finite() {
+            return None;
+        }
+        // Fast reject: a rank larger than the current (k+1)-st smallest can
+        // never enter the candidate set.
+        if self.heap.len() == self.k + 1 {
+            let worst = self.heap.peek().expect("non-empty heap");
+            if rank >= worst.rank {
+                return None;
+            }
+        }
+        self.heap.push(Candidate { rank, key, weight });
+        self.keys.insert(key);
+        if self.heap.len() > self.k + 1 {
+            let evicted = self.heap.pop().expect("heap overflow implies non-empty");
+            self.keys.remove(&evicted.key);
+            Some(evicted.key)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` is currently a candidate.
+    pub(crate) fn contains(&self, key: Key) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// Number of candidates currently held (at most `k + 1`).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Finalizes into a bottom-k sketch.
+    pub(crate) fn into_sketch(self) -> BottomKSketch {
+        BottomKSketch::from_ranked(
+            self.k,
+            self.heap.into_iter().map(|c| (c.key, c.rank, c.weight)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_plus_one_smallest() {
+        let mut set = CandidateSet::new(2);
+        assert_eq!(set.offer(1, 0.5, 1.0), None);
+        assert_eq!(set.offer(2, 0.4, 1.0), None);
+        assert_eq!(set.offer(3, 0.3, 1.0), None);
+        assert_eq!(set.len(), 3);
+        // Key 4 with a smaller rank evicts key 1 (largest rank).
+        assert_eq!(set.offer(4, 0.2, 1.0), Some(1));
+        assert!(!set.contains(1));
+        assert!(set.contains(4));
+        // A large rank is rejected outright.
+        assert_eq!(set.offer(5, 0.9, 1.0), None);
+        assert!(!set.contains(5));
+        let sketch = set.into_sketch();
+        assert_eq!(sketch.len(), 2);
+        assert_eq!(sketch.entries()[0].key, 4);
+        assert_eq!(sketch.entries()[1].key, 3);
+        assert!((sketch.next_rank() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_ranks_are_ignored() {
+        let mut set = CandidateSet::new(2);
+        assert_eq!(set.offer(1, f64::INFINITY, 0.0), None);
+        assert_eq!(set.len(), 0);
+    }
+}

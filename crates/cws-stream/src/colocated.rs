@@ -1,0 +1,206 @@
+//! Colocated multi-assignment stream sampling.
+
+use std::collections::HashMap;
+
+use cws_core::coordination::RankGenerator;
+use cws_core::summary::{ColocatedRecord, ColocatedSummary, SummaryConfig};
+use cws_core::Key;
+
+use crate::candidate::CandidateSet;
+
+/// A single pass over `(key, weight-vector)` records that embeds one bottom-k
+/// sample per assignment and retains the full weight vector of every
+/// candidate key (Section 6's colocated summary, computed with bounded
+/// memory).
+///
+/// State is `O(k · |W|)` candidate entries plus the weight vectors of the
+/// candidate keys; vectors of keys that fall out of every candidate set are
+/// garbage-collected periodically.
+#[derive(Debug, Clone)]
+pub struct ColocatedStreamSampler {
+    config: SummaryConfig,
+    generator: RankGenerator,
+    num_assignments: usize,
+    candidates: Vec<CandidateSet>,
+    vectors: HashMap<Key, Vec<f64>>,
+    processed: u64,
+    compaction_threshold: usize,
+}
+
+impl ColocatedStreamSampler {
+    /// Creates a sampler for `num_assignments` assignments.
+    ///
+    /// # Panics
+    /// Panics if `num_assignments == 0`.
+    #[must_use]
+    pub fn new(config: SummaryConfig, num_assignments: usize) -> Self {
+        assert!(num_assignments > 0, "at least one assignment is required");
+        let candidates = (0..num_assignments).map(|_| CandidateSet::new(config.k)).collect();
+        let compaction_threshold = 4 * (config.k + 1) * num_assignments + 64;
+        Self {
+            config,
+            generator: config.generator(),
+            num_assignments,
+            candidates,
+            vectors: HashMap::new(),
+            processed: 0,
+            compaction_threshold,
+        }
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        self.num_assignments
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of weight vectors currently retained (bounded by the
+    /// compaction threshold plus one).
+    #[must_use]
+    pub fn retained_vectors(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Processes one record: a key together with its full weight vector.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the number of assignments.
+    pub fn push(&mut self, key: Key, weights: &[f64]) {
+        assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        let ranks = self.generator.rank_vector(key, weights);
+        let mut candidate_anywhere = false;
+        for (b, (&rank, &weight)) in ranks.iter().zip(weights).enumerate() {
+            self.candidates[b].offer(key, rank, weight);
+            candidate_anywhere |= self.candidates[b].contains(key);
+        }
+        if candidate_anywhere {
+            self.vectors.insert(key, weights.to_vec());
+        }
+        self.processed += 1;
+        if self.vectors.len() > self.compaction_threshold {
+            self.compact();
+        }
+    }
+
+    /// Drops weight vectors of keys that are no longer candidates anywhere.
+    fn compact(&mut self) {
+        let candidates = &self.candidates;
+        self.vectors.retain(|&key, _| candidates.iter().any(|set| set.contains(key)));
+    }
+
+    /// Finalizes the pass into a colocated summary.
+    #[must_use]
+    pub fn finalize(mut self) -> ColocatedSummary {
+        self.compact();
+        let sketches: Vec<_> =
+            self.candidates.into_iter().map(CandidateSet::into_sketch).collect();
+        let kth_ranks: Vec<f64> = sketches.iter().map(|s| s.kth_rank()).collect();
+        let next_ranks: Vec<f64> = sketches.iter().map(|s| s.next_rank()).collect();
+
+        let mut membership: HashMap<Key, Vec<bool>> = HashMap::new();
+        for (b, sketch) in sketches.iter().enumerate() {
+            for entry in sketch.entries() {
+                membership.entry(entry.key).or_insert_with(|| vec![false; self.num_assignments])
+                    [b] = true;
+            }
+        }
+        let records: Vec<ColocatedRecord> = membership
+            .into_iter()
+            .map(|(key, in_sketch)| ColocatedRecord {
+                key,
+                weights: self
+                    .vectors
+                    .remove(&key)
+                    .expect("every sampled key has a retained weight vector"),
+                in_sketch,
+            })
+            .collect();
+
+        ColocatedSummary::from_parts(self.config, self.config.k, kth_ranks, next_ranks, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_core::weights::MultiWeighted;
+
+    fn fixture() -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(3);
+        for key in 0..700u64 {
+            builder.add(key, 0, ((key % 17) + 1) as f64);
+            builder.add(key, 1, ((key % 5) * 3) as f64);
+            builder.add(key, 2, ((key % 29) + 2) as f64);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn stream_summary_matches_offline_summary() {
+        let data = fixture();
+        for (family, mode) in [
+            (RankFamily::Ipps, CoordinationMode::SharedSeed),
+            (RankFamily::Ipps, CoordinationMode::Independent),
+            (RankFamily::Exp, CoordinationMode::IndependentDifferences),
+        ] {
+            let config = SummaryConfig::new(25, family, mode, 99);
+            let mut sampler = ColocatedStreamSampler::new(config, 3);
+            for (key, weights) in data.iter() {
+                sampler.push(key, weights);
+            }
+            assert_eq!(sampler.processed(), 700);
+            let streamed = sampler.finalize();
+            let offline = ColocatedSummary::build(&data, &config);
+            assert_eq!(streamed.num_distinct_keys(), offline.num_distinct_keys(), "{mode:?}");
+            assert_eq!(streamed.records(), offline.records(), "{mode:?}");
+            for b in 0..3 {
+                assert_eq!(streamed.kth_rank(b).to_bits(), offline.kth_rank(b).to_bits());
+                assert_eq!(streamed.next_rank(b).to_bits(), offline.next_rank(b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_adversarial_order() {
+        // Keys arrive in decreasing-rank order, which maximizes candidate
+        // churn; the retained-vector count must stay near the compaction
+        // threshold rather than growing with the stream.
+        let config = SummaryConfig::new(10, RankFamily::Ipps, CoordinationMode::SharedSeed, 5);
+        let mut sampler = ColocatedStreamSampler::new(config, 2);
+        let generator = config.generator();
+        let mut keyed: Vec<(Key, Vec<f64>)> = (0..5000u64)
+            .map(|key| (key, vec![((key % 13) + 1) as f64, ((key % 7) + 1) as f64]))
+            .collect();
+        keyed.sort_by(|a, b| {
+            let ra = generator.rank_vector(a.0, &a.1)[0];
+            let rb = generator.rank_vector(b.0, &b.1)[0];
+            rb.total_cmp(&ra)
+        });
+        for (key, weights) in &keyed {
+            sampler.push(*key, weights);
+        }
+        assert!(
+            sampler.retained_vectors() <= 4 * 11 * 2 + 65,
+            "retained {}",
+            sampler.retained_vectors()
+        );
+        let summary = sampler.finalize();
+        assert_eq!(summary.effective_k(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_is_rejected() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let mut sampler = ColocatedStreamSampler::new(config, 3);
+        sampler.push(1, &[1.0, 2.0]);
+    }
+}

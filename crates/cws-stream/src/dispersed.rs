@@ -1,0 +1,122 @@
+//! Dispersed multi-assignment stream sampling.
+
+use cws_core::error::Result;
+use cws_core::summary::{DispersedSummary, SummaryConfig};
+use cws_core::Key;
+
+use crate::bottomk::BottomKStreamSampler;
+
+/// One bottom-k stream sampler per weight assignment, sharing only the hash
+/// seed — the scalable realization of coordinated dispersed summaries.
+///
+/// In a real deployment each assignment's sampler runs where that
+/// assignment's data lives (one per time period, server, …); this struct
+/// simply bundles them so that tests, examples and the evaluation harness can
+/// drive them together. Records are routed by assignment index and never
+/// influence the other samplers.
+#[derive(Debug, Clone)]
+pub struct DispersedStreamSampler {
+    config: SummaryConfig,
+    samplers: Vec<BottomKStreamSampler>,
+}
+
+impl DispersedStreamSampler {
+    /// Creates samplers for `num_assignments` assignments.
+    ///
+    /// # Panics
+    /// Panics if `num_assignments == 0` or the configuration uses
+    /// independent-differences ranks (unsupported for dispersed processing).
+    #[must_use]
+    pub fn new(config: SummaryConfig, num_assignments: usize) -> Self {
+        assert!(num_assignments > 0, "at least one assignment is required");
+        assert!(
+            config.mode != cws_core::CoordinationMode::IndependentDifferences,
+            "independent-differences ranks are not suited for dispersed weights"
+        );
+        let generator = config.generator();
+        let samplers = (0..num_assignments)
+            .map(|assignment| BottomKStreamSampler::new(generator, assignment, config.k))
+            .collect();
+        Self { config, samplers }
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Routes one `(assignment, key, weight)` record to its sampler.
+    ///
+    /// # Errors
+    /// Returns an error if `assignment` is out of range.
+    pub fn push(&mut self, assignment: usize, key: Key, weight: f64) -> Result<()> {
+        let available = self.samplers.len();
+        let sampler = self.samplers.get_mut(assignment).ok_or(
+            cws_core::CwsError::AssignmentOutOfRange { index: assignment, available },
+        )?;
+        sampler.push(key, weight)
+    }
+
+    /// Finalizes all passes into a dispersed summary.
+    #[must_use]
+    pub fn finalize(self) -> DispersedSummary {
+        let sketches = self.samplers.into_iter().map(BottomKStreamSampler::finalize).collect();
+        DispersedSummary::from_sketches(self.config, sketches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_core::weights::MultiWeighted;
+
+    fn fixture() -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(3);
+        for key in 0..800u64 {
+            builder.add(key, 0, ((key % 17) + 1) as f64);
+            builder.add(key, 1, ((key % 5) * 3) as f64);
+            builder.add(key, 2, ((key % 29) + 2) as f64);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn stream_summary_matches_offline_summary() {
+        let data = fixture();
+        for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+            let config = SummaryConfig::new(30, RankFamily::Ipps, mode, 77);
+            let mut sampler = DispersedStreamSampler::new(config, 3);
+            for (key, weights) in data.iter() {
+                for (b, &weight) in weights.iter().enumerate() {
+                    sampler.push(b, key, weight).unwrap();
+                }
+            }
+            let streamed = sampler.finalize();
+            let offline = DispersedSummary::build(&data, &config);
+            assert_eq!(streamed, offline, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_an_error() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let mut sampler = DispersedStreamSampler::new(config, 2);
+        assert!(sampler.push(2, 1, 1.0).is_err());
+        assert_eq!(sampler.num_assignments(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not suited for dispersed")]
+    fn independent_differences_rejected() {
+        let config = SummaryConfig::new(
+            5,
+            RankFamily::Exp,
+            CoordinationMode::IndependentDifferences,
+            1,
+        );
+        let _ = DispersedStreamSampler::new(config, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Single-pass and distributed stream sampling for coordinated weighted
+//! sketches.
+//!
+//! The summaries of `cws-core` are defined over a complete weighted data set;
+//! this crate produces the very same summaries from *streams* of records with
+//! bounded memory, which is the scalability requirement of the paper
+//! (Section 4, "Computing coordinated sketches"):
+//!
+//! * [`BottomKStreamSampler`] — one assignment, one pass, `O(k)` state; the
+//!   building block of everything else.
+//! * [`PoissonStreamSampler`] — fixed-threshold Poisson sampling in one pass.
+//! * [`DispersedStreamSampler`] — one bottom-k sampler per assignment, sharing
+//!   only the hash seed; models the dispersed sites (different time periods,
+//!   different servers) that cannot communicate while sampling.
+//! * [`ColocatedStreamSampler`] — a single pass over `(key, weight-vector)`
+//!   records that embeds one bottom-k sample per assignment and retains the
+//!   full weight vector of every candidate key.
+//! * [`merge`] — mergeability: sketches computed over disjoint partitions of
+//!   the keys (e.g. different routers) combine into the sketch of the union.
+//!
+//! Streams are assumed to be *aggregated*: each key appears at most once per
+//! assignment (as in the paper's model where per-key weights, such as flow
+//! byte counts, have already been aggregated). Feeding the same key twice
+//! under the same assignment double-counts it in the candidate structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod candidate;
+
+pub mod bottomk;
+pub mod colocated;
+pub mod dispersed;
+pub mod merge;
+pub mod poisson;
+
+pub use bottomk::BottomKStreamSampler;
+pub use colocated::ColocatedStreamSampler;
+pub use dispersed::DispersedStreamSampler;
+pub use merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+pub use poisson::PoissonStreamSampler;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::bottomk::BottomKStreamSampler;
+    pub use crate::colocated::ColocatedStreamSampler;
+    pub use crate::dispersed::DispersedStreamSampler;
+    pub use crate::merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+    pub use crate::poisson::PoissonStreamSampler;
+}

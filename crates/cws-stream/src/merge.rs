@@ -1,0 +1,131 @@
+//! Merging sketches computed over disjoint partitions of the key universe.
+//!
+//! Bottom-k sketches are mergeable: if the keys are partitioned across sites
+//! (different routers, shards, …) and each site computes a bottom-k sketch of
+//! its partition with the shared hash seed, the k smallest ranks across all
+//! partial sketches are exactly the bottom-k sketch of the full population.
+//! This is what makes the summaries computable distributively as well as over
+//! streams.
+
+use cws_core::error::{CwsError, Result};
+use cws_core::sketch::bottomk::BottomKSketch;
+use cws_core::summary::DispersedSummary;
+
+/// Merges bottom-k sketches computed over **disjoint** key partitions into
+/// the bottom-k sketch of the union population.
+///
+/// # Errors
+/// Returns an error if no sketches are given or they disagree on `k`.
+pub fn merge_disjoint_sketches(sketches: &[BottomKSketch]) -> Result<BottomKSketch> {
+    let first = sketches.first().ok_or(CwsError::InvalidParameter {
+        name: "sketches",
+        message: "at least one sketch is required".to_string(),
+    })?;
+    let k = first.k();
+    if sketches.iter().any(|s| s.k() != k) {
+        return Err(CwsError::InvalidParameter {
+            name: "sketches",
+            message: "all sketches must share the same k".to_string(),
+        });
+    }
+    Ok(BottomKSketch::from_ranked(
+        k,
+        sketches
+            .iter()
+            .flat_map(|s| s.entries().iter().map(|e| (e.key, e.rank, e.weight))),
+    ))
+}
+
+/// Merges dispersed summaries computed over disjoint key partitions
+/// (assignment by assignment).
+///
+/// # Errors
+/// Returns an error if no summaries are given, or they disagree on the
+/// configuration or the number of assignments.
+pub fn merge_disjoint_summaries(summaries: &[DispersedSummary]) -> Result<DispersedSummary> {
+    let first = summaries.first().ok_or(CwsError::InvalidParameter {
+        name: "summaries",
+        message: "at least one summary is required".to_string(),
+    })?;
+    let config = *first.config();
+    let assignments = first.num_assignments();
+    if summaries.iter().any(|s| s.config() != &config || s.num_assignments() != assignments) {
+        return Err(CwsError::InvalidParameter {
+            name: "summaries",
+            message: "all summaries must share configuration and assignment count".to_string(),
+        });
+    }
+    let mut merged = Vec::with_capacity(assignments);
+    for b in 0..assignments {
+        let per_partition: Vec<BottomKSketch> =
+            summaries.iter().map(|s| s.sketch(b).clone()).collect();
+        merged.push(merge_disjoint_sketches(&per_partition)?);
+    }
+    Ok(DispersedSummary::from_sketches(config, merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_core::summary::SummaryConfig;
+    use cws_core::weights::{MultiWeighted, WeightedSet};
+    use cws_hash::SeedSequence;
+
+    #[test]
+    fn merged_partition_sketches_equal_global_sketch() {
+        let set = WeightedSet::from_pairs((0u64..3000).map(|k| (k, ((k % 31) + 1) as f64)));
+        let seeds = SeedSequence::new(11);
+        let global = BottomKSketch::sample(&set, 40, RankFamily::Ipps, &seeds);
+
+        // Partition keys by residue class into three disjoint sets.
+        let partitions: Vec<WeightedSet> = (0..3)
+            .map(|r| WeightedSet::from_pairs(set.iter().filter(|(k, _)| k % 3 == r)))
+            .collect();
+        let partials: Vec<BottomKSketch> = partitions
+            .iter()
+            .map(|p| BottomKSketch::sample(p, 40, RankFamily::Ipps, &seeds))
+            .collect();
+        let merged = merge_disjoint_sketches(&partials).unwrap();
+        assert_eq!(merged, global);
+    }
+
+    #[test]
+    fn merged_summaries_equal_global_summary() {
+        let mut builder = MultiWeighted::builder(2);
+        for key in 0..1500u64 {
+            builder.add(key, 0, ((key % 13) + 1) as f64);
+            builder.add(key, 1, ((key % 9) * 2) as f64);
+        }
+        let data = builder.build();
+        let config = SummaryConfig::new(25, RankFamily::Ipps, CoordinationMode::SharedSeed, 3);
+        let global = DispersedSummary::build(&data, &config);
+
+        let partitions: Vec<MultiWeighted> = (0..3)
+            .map(|r| {
+                let mut b = MultiWeighted::builder(2);
+                for (key, weights) in data.iter().filter(|(k, _)| k % 3 == r) {
+                    b.add_vector(key, weights);
+                }
+                b.build()
+            })
+            .collect();
+        let partials: Vec<DispersedSummary> =
+            partitions.iter().map(|p| DispersedSummary::build(p, &config)).collect();
+        let merged = merge_disjoint_summaries(&partials).unwrap();
+        assert_eq!(merged, global);
+    }
+
+    #[test]
+    fn merge_validation_errors() {
+        assert!(merge_disjoint_sketches(&[]).is_err());
+        let set = WeightedSet::from_pairs((0u64..100).map(|k| (k, 1.0)));
+        let seeds = SeedSequence::new(1);
+        let a = BottomKSketch::sample(&set, 5, RankFamily::Ipps, &seeds);
+        let b = BottomKSketch::sample(&set, 6, RankFamily::Ipps, &seeds);
+        assert!(merge_disjoint_sketches(&[a.clone(), b]).is_err());
+        assert!(merge_disjoint_sketches(&[a.clone()]).is_ok());
+        assert!(merge_disjoint_summaries(&[]).is_err());
+    }
+}

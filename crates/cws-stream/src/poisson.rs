@@ -1,0 +1,121 @@
+//! Fixed-threshold Poisson stream sampler.
+
+use cws_core::coordination::RankGenerator;
+use cws_core::error::Result;
+use cws_core::sketch::bottomk::SketchEntry;
+use cws_core::sketch::poisson::PoissonSketch;
+use cws_core::Key;
+
+/// A one-pass Poisson-τ sampler for a single weight assignment.
+///
+/// The threshold τ is fixed up front (e.g. calibrated on a previous period
+/// with [`cws_core::sketch::poisson::threshold_for_expected_size`]), which is
+/// what keeps the pass truly single-pass and communication-free; the sample
+/// size is then a random variable with expectation `Σ_i F_{w(i)}(τ)`.
+#[derive(Debug, Clone)]
+pub struct PoissonStreamSampler {
+    generator: RankGenerator,
+    assignment: usize,
+    tau: f64,
+    entries: Vec<SketchEntry>,
+    processed: u64,
+}
+
+impl PoissonStreamSampler {
+    /// Creates a sampler with threshold `tau` for `assignment`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is not positive.
+    #[must_use]
+    pub fn new(generator: RankGenerator, assignment: usize, tau: f64) -> Self {
+        assert!(tau > 0.0, "threshold tau must be positive");
+        Self { generator, assignment, tau, entries: Vec::new(), processed: 0 }
+    }
+
+    /// The sampling threshold.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Current number of sampled keys.
+    #[must_use]
+    pub fn sample_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Processes one `(key, weight)` record.
+    ///
+    /// # Errors
+    /// Returns an error if the generator's coordination mode cannot produce
+    /// dispersed (per-assignment) ranks.
+    pub fn push(&mut self, key: Key, weight: f64) -> Result<()> {
+        let rank = self.generator.dispersed_rank(key, weight, self.assignment)?;
+        if rank < self.tau {
+            self.entries.push(SketchEntry { key, rank, weight });
+        }
+        self.processed += 1;
+        Ok(())
+    }
+
+    /// Finalizes the pass into a Poisson sketch.
+    #[must_use]
+    pub fn finalize(self) -> PoissonSketch {
+        PoissonSketch::from_ranked(self.tau, self.entries.into_iter().map(|e| (e.key, e.rank, e.weight)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::coordination::CoordinationMode;
+    use cws_core::ranks::RankFamily;
+    use cws_core::sketch::poisson::threshold_for_expected_size;
+    use cws_core::weights::WeightedSet;
+    use cws_hash::SeedSequence;
+
+    #[test]
+    fn stream_matches_offline_poisson_sketch() {
+        let set = WeightedSet::from_pairs((0u64..1000).map(|k| (k, ((k % 13) + 1) as f64)));
+        let weights: Vec<f64> = set.iter().map(|(_, w)| w).collect();
+        let tau = threshold_for_expected_size(&weights, RankFamily::Ipps, 25.0);
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 42).unwrap();
+
+        let mut sampler = PoissonStreamSampler::new(generator, 0, tau);
+        for (key, weight) in set.iter() {
+            sampler.push(key, weight).unwrap();
+        }
+        assert_eq!(sampler.processed(), 1000);
+        let streamed = sampler.finalize();
+
+        let offline = PoissonSketch::sample(&set, 25.0, RankFamily::Ipps, &SeedSequence::new(42));
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn sample_size_grows_only_for_small_ranks() {
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 1).unwrap();
+        let mut sampler = PoissonStreamSampler::new(generator, 0, 1e-9);
+        for key in 0..1000u64 {
+            sampler.push(key, 1.0).unwrap();
+        }
+        assert!(sampler.sample_size() < 5, "tiny tau keeps almost nothing");
+        assert!((sampler.tau() - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn non_positive_tau_rejected() {
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 1).unwrap();
+        let _ = PoissonStreamSampler::new(generator, 0, 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: summarize a small multi-assignment data set and answer
+//! a-posteriori subpopulation queries from the summary.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use coordinated_sampling::prelude::*;
+
+fn main() {
+    // A toy data set: 10,000 keys, three weight assignments (think: bytes in
+    // three consecutive hours), heavy-tailed and correlated across hours.
+    let data = correlated_zipf(10_000, 3, 1.2, 0.85, 0.2, 7);
+
+    // Build a coordinated colocated summary with 256 keys embedded per
+    // assignment (shared-seed IPPS ranks = coordinated priority samples).
+    let config = SummaryConfig::new(256, RankFamily::Ipps, CoordinationMode::SharedSeed, 42);
+    let summary = ColocatedSummary::build(&data, &config);
+    println!(
+        "summary stores {} distinct keys for {} assignments (sharing index {:.2})",
+        summary.num_distinct_keys(),
+        summary.num_assignments(),
+        summary.sharing_index()
+    );
+
+    // Estimate aggregates for a subpopulation chosen only now: keys whose id
+    // is divisible by 7 (in a real application: flows of one customer,
+    // movies of one genre, ...).
+    let subpopulation = |key: Key| key % 7 == 0;
+    let estimator = InclusiveEstimator::new(&summary);
+
+    let estimated_total = estimator.single(0).unwrap().subset_total(subpopulation);
+    let exact_total = exact_aggregate(&data, &AggregateFn::SingleAssignment(0), subpopulation);
+    println!("hour-0 volume      estimate {estimated_total:>12.1}   exact {exact_total:>12.1}");
+
+    let estimated_l1 = estimator.l1(&[0, 2]).unwrap().subset_total(subpopulation);
+    let exact_l1 = exact_aggregate(&data, &AggregateFn::L1(vec![0, 2]), subpopulation);
+    println!("hour-0↔2 L1 change estimate {estimated_l1:>12.1}   exact {exact_l1:>12.1}");
+
+    let estimated_min = estimator.min(&[0, 1, 2]).unwrap().subset_total(subpopulation);
+    let exact_min = exact_aggregate(&data, &AggregateFn::Min(vec![0, 1, 2]), subpopulation);
+    println!("3-hour min volume  estimate {estimated_min:>12.1}   exact {exact_min:>12.1}");
+
+    // The same data in the dispersed model: each hour is sampled by its own
+    // pass that shares only the hash seed with the others.
+    let mut sampler = DispersedStreamSampler::new(config, data.num_assignments());
+    for (key, weights) in data.iter() {
+        for (hour, &weight) in weights.iter().enumerate() {
+            sampler.push(hour, key, weight).unwrap();
+        }
+    }
+    let dispersed = sampler.finalize();
+    let estimator = DispersedEstimator::new(&dispersed);
+    let estimated_l1 =
+        estimator.l1(&[0, 2], SelectionKind::LSet).unwrap().subset_total(subpopulation);
+    println!("dispersed L1       estimate {estimated_l1:>12.1}   exact {exact_l1:>12.1}");
+}

@@ -1,0 +1,83 @@
+//! Stock-quotes scenario (colocated weights + similarity estimation).
+//!
+//! Each trading day a record with six numeric attributes (open, high, low,
+//! close, adjusted close, volume) is attached to every ticker. A single
+//! coordinated summary embeds a weighted sample per attribute while storing
+//! each retained ticker only once, and supports both per-attribute sums and
+//! cross-attribute aggregates. Weighted Jaccard similarity across days is
+//! estimated with coordinated k-mins sketches (Theorem 4.1).
+//!
+//! Run with: `cargo run --release --example stock_similarity`
+
+use coordinated_sampling::core::aggregates::weighted_jaccard;
+use coordinated_sampling::core::sketch::kmins::kmins_sketches;
+use coordinated_sampling::data::stocks::{StockAttribute, StocksConfig, StocksData};
+use coordinated_sampling::prelude::*;
+
+fn main() {
+    let stocks = StocksData::generate(&StocksConfig { num_tickers: 4_000, seed: 31, ..StocksConfig::default() });
+
+    // --- Colocated summary of one trading day -----------------------------
+    let day = stocks.colocated_day(0);
+    let config = SummaryConfig::new(256, RankFamily::Ipps, CoordinationMode::SharedSeed, 99);
+    let summary = ColocatedSummary::build(&day.data, &config);
+    println!(
+        "day-1 summary: {} tickers retained for 6 embedded samples (sharing index {:.2})",
+        summary.num_distinct_keys(),
+        summary.sharing_index()
+    );
+
+    let estimator = InclusiveEstimator::new(&summary);
+    let volume = day.assignment_named("volume").unwrap();
+    let high = day.assignment_named("high").unwrap();
+
+    // Estimate total traded volume of "penny stocks" (high price below 2):
+    // the predicate uses the weight vector of the retained records, so it can
+    // be evaluated per sampled key.
+    let adjusted_volume = estimator.single(volume).unwrap();
+    let penny_estimate: f64 = summary
+        .records()
+        .iter()
+        .filter(|record| record.weights[high] < 2.0)
+        .map(|record| adjusted_volume.get(record.key))
+        .sum();
+    let penny_exact: f64 = day
+        .data
+        .iter()
+        .filter(|(_, weights)| weights[high] < 2.0)
+        .map(|(_, weights)| weights[volume])
+        .sum();
+    println!("penny-stock volume  estimate {penny_estimate:>16.0}  exact {penny_exact:>16.0}");
+
+    // The plain estimator (volume sample only) for comparison.
+    let plain = PlainEstimator::new(&summary).single(volume).unwrap().total();
+    let inclusive = adjusted_volume.total();
+    let exact = day.data.assignment_total(volume);
+    println!("total volume        inclusive {inclusive:>14.0}  plain {plain:>14.0}  exact {exact:>14.0}");
+
+    // --- Day-to-day similarity via coordinated k-mins sketches ------------
+    let volumes = stocks.dispersed(StockAttribute::Volume);
+    let generator = RankGenerator::new(
+        RankFamily::Exp,
+        CoordinationMode::IndependentDifferences,
+        1234,
+    )
+    .unwrap();
+    let sketches = kmins_sketches(&volumes.data, 2_000, &generator);
+    println!("\nweighted Jaccard similarity of daily traded volume (k-mins estimate vs exact):");
+    for other in [1usize, 5, 22] {
+        let estimate = sketches[0].jaccard_estimate(&sketches[other]);
+        let exact = weighted_jaccard(&volumes.data, 0, other, |_| true);
+        println!("  day 1 vs day {:>2}: {estimate:.3} (exact {exact:.3})", other + 1);
+    }
+
+    // --- Change detection across the month ---------------------------------
+    let days: Vec<usize> = (0..volumes.num_assignments()).collect();
+    let dispersed_config =
+        SummaryConfig::new(512, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+    let dispersed = DispersedSummary::build(&volumes.data, &dispersed_config);
+    let estimator = DispersedEstimator::new(&dispersed);
+    let l1 = estimator.l1(&days, SelectionKind::LSet).unwrap().total();
+    let exact_l1 = exact_aggregate(&volumes.data, &AggregateFn::L1(days.clone()), |_| true);
+    println!("\nmonth-long volume range (L1): estimate {l1:.3e}, exact {exact_l1:.3e}");
+}
