@@ -1,0 +1,250 @@
+//! Minimal, dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The workspace is built in environments without access to crates.io, so the
+//! real `criterion` crate cannot be fetched. This shim exposes the subset of
+//! the criterion 0.5 surface that the `cws-bench` benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `black_box`,
+//! `criterion_group!` and `criterion_main!` — with a simple
+//! wall-clock measurement loop (warm-up, then a fixed number of timed
+//! samples, reporting mean / min / max per iteration). Swapping in the real
+//! crate later only requires changing the `criterion` entry in
+//! `[workspace.dependencies]`; no bench source changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput annotation for a benchmark group (reported, not rate-limited).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self { samples: Vec::new(), iters_per_sample: 1, sample_count }
+    }
+
+    /// Times `routine`, first calibrating how many iterations fit in a sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of ~5ms each so cheap routines are
+        // measured over many iterations.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) => format!("  {:.3e} B/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "{label:<40} time: [{} {} {}]{extra}",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the group with a throughput so rates are reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&label, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver. One instance is threaded through every bench fn.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup { name, sample_size: 50, throughput: None, _criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(50);
+        f(&mut bencher);
+        bencher.report(&id.to_string(), None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 16).to_string(), "f/16");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -64,10 +64,7 @@ fn bench_colocated_estimators(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     InclusiveEstimator::new(&summary)
-                        .aggregate(&AggregateFn::LthLargest {
-                            assignments: vec![0, 1, 2],
-                            ell: 2,
-                        })
+                        .aggregate(&AggregateFn::LthLargest { assignments: vec![0, 1, 2], ell: 2 })
                         .unwrap()
                         .total(),
                 )

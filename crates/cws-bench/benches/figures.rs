@@ -16,7 +16,9 @@ fn bench_paper_tables(c: &mut Criterion) {
     group.sample_size(10);
     for id in ["table2", "table3", "table4", "thm4_1"] {
         group.bench_function(id, |b| {
-            b.iter(|| black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len()));
+            b.iter(|| {
+                black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len())
+            });
         });
     }
     group.finish();
@@ -29,7 +31,9 @@ fn bench_figures_smoke(c: &mut Criterion) {
     // while every experiment id remains runnable through the binary.
     for id in ["fig3", "fig8", "fig9", "fig12", "fig17", "ablation_rankfamily"] {
         group.bench_function(id, |b| {
-            b.iter(|| black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len()));
+            b.iter(|| {
+                black_box(run_experiment(id, DatasetScale::Smoke).expect("registered").tables.len())
+            });
         });
     }
     group.finish();

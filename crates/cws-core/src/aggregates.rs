@@ -66,10 +66,7 @@ impl AggregateFn {
             }
             AggregateFn::LthLargest { assignments, ell } => {
                 assert!(!assignments.is_empty(), "relevant assignment set must not be empty");
-                assert!(
-                    *ell >= 1 && *ell <= assignments.len(),
-                    "ell must be in 1..=|R|"
-                );
+                assert!(*ell >= 1 && *ell <= assignments.len(), "ell must be in 1..=|R|");
                 let mut values: Vec<f64> = assignments.iter().map(|&b| weights[b]).collect();
                 values.sort_by(|a, b| b.total_cmp(a));
                 values[*ell - 1]
@@ -96,10 +93,7 @@ pub fn exact_aggregate<P>(data: &MultiWeighted, f: &AggregateFn, predicate: P) -
 where
     P: Fn(Key) -> bool,
 {
-    data.iter()
-        .filter(|&(key, _)| predicate(key))
-        .map(|(_, weights)| f.evaluate(weights))
-        .sum()
+    data.iter().filter(|&(key, _)| predicate(key)).map(|(_, weights)| f.evaluate(weights)).sum()
 }
 
 /// Exact per-key values of `f`, in the data set's key order. Used by the

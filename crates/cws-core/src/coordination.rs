@@ -20,14 +20,13 @@
 //!   (Theorem 4.1).
 
 use cws_hash::SeedSequence;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{CwsError, Result};
 use crate::ranks::RankFamily;
 use crate::weights::Key;
 
 /// Joint distribution of rank vectors across weight assignments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoordinationMode {
     /// Independent ranks per assignment (non-coordinated sketches).
     Independent,
@@ -137,9 +136,9 @@ impl RankGenerator {
             CoordinationMode::SharedSeed => {
                 Ok(self.family.rank_from_seed(weight, self.seeds.shared_seed(key)))
             }
-            CoordinationMode::Independent => Ok(self
-                .family
-                .rank_from_seed(weight, self.seeds.assignment_seed(key, assignment))),
+            CoordinationMode::Independent => {
+                Ok(self.family.rank_from_seed(weight, self.seeds.assignment_seed(key, assignment)))
+            }
             CoordinationMode::IndependentDifferences => Err(CwsError::UnsupportedEstimator {
                 estimator: "dispersed_rank",
                 reason: "independent-differences ranks require the full weight vector and are \
@@ -212,26 +211,18 @@ mod tests {
         // A small deterministic, non-uniform weight vector per key.
         vec![
             (key % 7 + 1) as f64,
-            (key % 5) as f64,          // sometimes zero
+            (key % 5) as f64, // sometimes zero
             ((key * 3) % 11 + 2) as f64,
         ]
     }
 
     #[test]
     fn independent_differences_requires_exp() {
-        let err = RankGenerator::new(
-            RankFamily::Ipps,
-            CoordinationMode::IndependentDifferences,
-            1,
-        )
-        .unwrap_err();
+        let err = RankGenerator::new(RankFamily::Ipps, CoordinationMode::IndependentDifferences, 1)
+            .unwrap_err();
         assert_eq!(err, CwsError::IndependentDifferencesRequiresExp);
-        assert!(RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            1
-        )
-        .is_ok());
+        assert!(RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 1)
+            .is_ok());
     }
 
     #[test]
@@ -258,12 +249,8 @@ mod tests {
 
     #[test]
     fn independent_differences_ranks_are_consistent() {
-        let gen = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            3,
-        )
-        .unwrap();
+        let gen = RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 3)
+            .unwrap();
         for key in 0..500u64 {
             let w = weights_of(key);
             let r = gen.rank_vector(key, &w);
@@ -314,12 +301,8 @@ mod tests {
 
     #[test]
     fn dispersed_rank_rejected_for_independent_differences() {
-        let gen = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            5,
-        )
-        .unwrap();
+        let gen = RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 5)
+            .unwrap();
         assert!(gen.dispersed_rank(1, 2.0, 0).is_err());
     }
 
@@ -328,12 +311,8 @@ mod tests {
         // r^(b)(i) should be EXP[w^(b)(i)] regardless of the other entries:
         // check the empirical mean of ranks across many keys with the same
         // weight vector.
-        let gen = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            7,
-        )
-        .unwrap();
+        let gen = RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 7)
+            .unwrap();
         let weights = [4.0, 1.0, 2.5];
         let n = 30_000u64;
         let mut sums = [0.0f64; 3];
@@ -380,10 +359,7 @@ mod tests {
     fn derive_changes_ranks() {
         let gen = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 23).unwrap();
         let other = gen.derive(1);
-        assert_ne!(
-            gen.rank_vector(5, &[1.0, 2.0]),
-            other.rank_vector(5, &[1.0, 2.0])
-        );
+        assert_ne!(gen.rank_vector(5, &[1.0, 2.0]), other.rank_vector(5, &[1.0, 2.0]));
         assert_eq!(gen.family(), other.family());
         assert_eq!(gen.mode(), other.mode());
     }

@@ -53,24 +53,21 @@ impl fmt::Display for CwsError {
             CwsError::UnsupportedEstimator { estimator, reason } => {
                 write!(f, "estimator `{estimator}` is not supported: {reason}")
             }
-            CwsError::AssignmentOutOfRange { index, available } => write!(
-                f,
-                "assignment index {index} out of range (only {available} assignments)"
-            ),
+            CwsError::AssignmentOutOfRange { index, available } => {
+                write!(f, "assignment index {index} out of range (only {available} assignments)")
+            }
             CwsError::EmptyAssignmentSet => {
                 write!(f, "the set of relevant assignments must not be empty")
             }
             CwsError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
-            CwsError::IndependentDifferencesRequiresExp => write!(
-                f,
-                "independent-differences consistent ranks are only defined for EXP ranks"
-            ),
-            CwsError::InvalidDependenceOrder { ell, relevant } => write!(
-                f,
-                "dependence order ell={ell} must lie in 1..={relevant}"
-            ),
+            CwsError::IndependentDifferencesRequiresExp => {
+                write!(f, "independent-differences consistent ranks are only defined for EXP ranks")
+            }
+            CwsError::InvalidDependenceOrder { ell, relevant } => {
+                write!(f, "dependence order ell={ell} must lie in 1..={relevant}")
+            }
         }
     }
 }

@@ -123,8 +123,7 @@ impl AdjustedWeights {
         keys.sort_unstable();
         keys.dedup();
         Self::from_entries(
-            keys.into_iter()
-                .map(|key| (key, (minuend.get(key) - subtrahend.get(key)).max(0.0))),
+            keys.into_iter().map(|key| (key, (minuend.get(key) - subtrahend.get(key)).max(0.0))),
         )
     }
 }
@@ -158,7 +157,8 @@ mod tests {
         let estimate = aw.ratio_estimate(|_| true, |_| (1.0, 2.0));
         assert_eq!(estimate, 15.0);
         // Keys with f = 0 contribute nothing.
-        let estimate = aw.ratio_estimate(|_| true, |k| if k == 1 { (3.0, 0.0) } else { (1.0, 1.0) });
+        let estimate =
+            aw.ratio_estimate(|_| true, |k| if k == 1 { (3.0, 0.0) } else { (1.0, 1.0) });
         assert_eq!(estimate, 20.0);
     }
 

@@ -55,8 +55,7 @@ impl<'a> InclusiveEstimator<'a> {
                 let mut best = 0.0f64;
                 for b in 0..assignments {
                     let threshold = summary.threshold_excluding(record, b);
-                    best =
-                        best.max(family.inclusion_probability(record.weights[b], threshold));
+                    best = best.max(family.inclusion_probability(record.weights[b], threshold));
                 }
                 best
             }
@@ -72,10 +71,8 @@ impl<'a> InclusiveEstimator<'a> {
                     return 0.0;
                 }
                 let suffix_max: Vec<f64> = {
-                    let thresholds: Vec<f64> = order
-                        .iter()
-                        .map(|&b| summary.threshold_excluding(record, b))
-                        .collect();
+                    let thresholds: Vec<f64> =
+                        order.iter().map(|&b| summary.threshold_excluding(record, b)).collect();
                     let mut suffix = thresholds.clone();
                     for j in (0..suffix.len().saturating_sub(1)).rev() {
                         suffix[j] = suffix[j].max(suffix[j + 1]);
@@ -272,10 +269,7 @@ mod tests {
             for b in 0..3 {
                 let exact = exact_aggregate(&data, &AggregateFn::SingleAssignment(b), predicate);
                 let mean = mean_estimate(&data, &config, 400, |summary| {
-                    InclusiveEstimator::new(summary)
-                        .single(b)
-                        .unwrap()
-                        .subset_total(predicate)
+                    InclusiveEstimator::new(summary).single(b).unwrap().subset_total(predicate)
                 });
                 assert!(
                     (mean - exact).abs() <= exact.max(1.0) * 0.08,

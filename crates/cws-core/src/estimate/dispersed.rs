@@ -161,12 +161,9 @@ impl<'a> DispersedEstimator<'a> {
                     }
                 }
                 SelectionKind::LSet => {
-                    let per_assignment = assignments
-                        .iter()
-                        .zip(&weights)
-                        .map(|(&b, &w)| {
-                            family.inclusion_probability(w, summary.threshold_excluding(key, b))
-                        });
+                    let per_assignment = assignments.iter().zip(&weights).map(|(&b, &w)| {
+                        family.inclusion_probability(w, summary.threshold_excluding(key, b))
+                    });
                     if coordinated {
                         per_assignment.fold(f64::INFINITY, f64::min)
                     } else {
@@ -252,14 +249,13 @@ impl<'a> DispersedEstimator<'a> {
                 // below F_{value}(threshold_b).
                 let mut probability = f64::INFINITY;
                 for &(b, _, weight) in &observed[..ell] {
-                    probability = probability.min(family.inclusion_probability(
-                        weight,
-                        summary.threshold_excluding(key, b),
-                    ));
+                    probability = probability.min(
+                        family.inclusion_probability(weight, summary.threshold_excluding(key, b)),
+                    );
                 }
                 for &b in assignments.iter().filter(|&&b| !top.contains(&b)) {
-                    let bound = family
-                        .inclusion_probability(value, summary.threshold_excluding(key, b));
+                    let bound =
+                        family.inclusion_probability(value, summary.threshold_excluding(key, b));
                     if seed >= bound {
                         return None;
                     }
@@ -342,7 +338,8 @@ mod tests {
         let data = fixture(250, 3);
         let r = vec![0usize, 1, 2];
         let cfg = config(CoordinationMode::SharedSeed, 30);
-        let cases: Vec<(AggregateFn, Box<dyn Fn(&DispersedSummary) -> f64>)> = vec![
+        type EstimateFn = Box<dyn Fn(&DispersedSummary) -> f64>;
+        let cases: Vec<(AggregateFn, EstimateFn)> = vec![
             (
                 AggregateFn::Max(r.clone()),
                 Box::new(|s: &DispersedSummary| {
@@ -434,10 +431,7 @@ mod tests {
         let (_, mse_l) = mean_and_mse(&data, &cfg, runs, exact, |s| {
             DispersedEstimator::new(s).min(&[0, 1, 2, 3], SelectionKind::LSet).unwrap().total()
         });
-        assert!(
-            mse_l <= mse_s * 1.05,
-            "l-set MSE {mse_l} should not exceed s-set MSE {mse_s}"
-        );
+        assert!(mse_l <= mse_s * 1.05, "l-set MSE {mse_l} should not exceed s-set MSE {mse_s}");
     }
 
     #[test]

@@ -107,10 +107,7 @@ mod tests {
             total += aw.subset_total(|key| key % 3 == 0);
         }
         let mean = total / runs as f64;
-        assert!(
-            (mean - exact).abs() < exact * 0.05,
-            "mean {mean} vs exact {exact}"
-        );
+        assert!((mean - exact).abs() < exact * 0.05, "mean {mean} vs exact {exact}");
     }
 
     #[test]

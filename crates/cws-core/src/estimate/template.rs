@@ -68,9 +68,11 @@ where
     I: IntoIterator<Item = Key>,
     F: FnMut(Key) -> Option<Selected>,
 {
-    AdjustedWeights::from_entries(candidates.into_iter().filter_map(|key| {
-        selection(key).map(|selected| (key, selected.adjusted_weight()))
-    }))
+    AdjustedWeights::from_entries(
+        candidates
+            .into_iter()
+            .filter_map(|key| selection(key).map(|selected| (key, selected.adjusted_weight()))),
+    )
 }
 
 #[cfg(test)]

@@ -14,10 +14,8 @@
 //! Both families are *monotone*: a larger weight stochastically decreases the
 //! rank, which is what makes shared-seed rank assignments consistent.
 
-use serde::{Deserialize, Serialize};
-
 /// The family of rank distributions used to draw rank values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankFamily {
     /// Exponential ranks: `f_w = EXP[w]`.
     Exp,

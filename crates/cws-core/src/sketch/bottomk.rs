@@ -38,10 +38,7 @@ impl PartialOrd for ByRank {
 
 impl Ord for ByRank {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .rank
-            .total_cmp(&other.0.rank)
-            .then_with(|| self.0.key.cmp(&other.0.key))
+        self.0.rank.total_cmp(&other.0.rank).then_with(|| self.0.key.cmp(&other.0.key))
     }
 }
 
@@ -82,8 +79,41 @@ impl BottomKSketch {
         }
         let mut entries: Vec<SketchEntry> = heap.into_iter().map(|ByRank(e)| e).collect();
         entries.sort_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
-        let next_rank = if entries.len() > k { entries.pop().expect("len > k").rank } else { f64::INFINITY };
+        let next_rank =
+            if entries.len() > k { entries.pop().expect("len > k").rank } else { f64::INFINITY };
         Self { k, entries, next_rank }
+    }
+
+    /// Builds a sketch from `(key, rank, weight)` triples plus *tail* rank
+    /// candidates: ranks known to exist in the population whose keys are
+    /// unavailable (the `r_{k+1}` values of partial sketches being merged).
+    ///
+    /// Tail ranks participate only in determining `r_{k+1}` of the result;
+    /// they can never become entries. They also never need to displace an
+    /// entry: a partial sketch's `r_{k+1}` exceeds all of that partial's
+    /// entry ranks, so if it were smaller than one of the union's bottom-k
+    /// ranks, its own partial's `k` entries would already fill the union
+    /// sketch — a contradiction. Hence the union's `r_{k+1}` is the smaller
+    /// of the entry-based `r_{k+1}` and the smallest tail rank.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn from_ranked_with_tail<I, T>(k: usize, ranked: I, tail_ranks: T) -> Self
+    where
+        I: IntoIterator<Item = (Key, f64, f64)>,
+        T: IntoIterator<Item = f64>,
+    {
+        let mut sketch = Self::from_ranked(k, ranked);
+        let tail_min = tail_ranks.into_iter().fold(f64::INFINITY, f64::min);
+        if tail_min < sketch.next_rank {
+            debug_assert!(
+                sketch.entries.last().is_none_or(|last| last.rank <= tail_min),
+                "a tail rank may not undercut a retained entry"
+            );
+            sketch.next_rank = tail_min;
+        }
+        sketch
     }
 
     /// Samples a weighted set using shared-seed ranks from `seeds`.

@@ -72,7 +72,11 @@ impl KMinsSketch {
 /// Theorem 4.1 requires.
 #[must_use]
 #[allow(clippy::needless_range_loop)] // replica indexes a column across all assignments
-pub fn kmins_sketches(data: &MultiWeighted, k: usize, generator: &RankGenerator) -> Vec<KMinsSketch> {
+pub fn kmins_sketches(
+    data: &MultiWeighted,
+    k: usize,
+    generator: &RankGenerator,
+) -> Vec<KMinsSketch> {
     assert!(k > 0, "number of replicas k must be positive");
     let assignments = data.num_assignments();
     let mut entries: Vec<Vec<Option<(Key, f64)>>> = vec![vec![None; k]; assignments];
@@ -105,7 +109,8 @@ mod tests {
         let mut builder = MultiWeighted::builder(2);
         for key in 0..200u64 {
             let w1 = ((key % 13) + 1) as f64;
-            let w2 = if correlated { w1 * 1.2 + ((key % 3) as f64) } else { ((key % 7) + 1) as f64 };
+            let w2 =
+                if correlated { w1 * 1.2 + ((key % 3) as f64) } else { ((key % 7) + 1) as f64 };
             builder.add(key, 0, w1);
             builder.add(key, 1, w2);
         }
@@ -115,12 +120,8 @@ mod tests {
     #[test]
     fn sketch_shape() {
         let data = fixture(true);
-        let gen = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            11,
-        )
-        .unwrap();
+        let gen = RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 11)
+            .unwrap();
         let sketches = kmins_sketches(&data, 32, &gen);
         assert_eq!(sketches.len(), 2);
         assert_eq!(sketches[0].k(), 32);
@@ -146,19 +147,13 @@ mod tests {
         // agreement probability equals the weighted Jaccard similarity.
         let data = fixture(true);
         let truth = weighted_jaccard(&data, 0, 1, |_| true);
-        let gen = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            2024,
-        )
-        .unwrap();
+        let gen =
+            RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 2024)
+                .unwrap();
         let k = 4000;
         let sketches = kmins_sketches(&data, k, &gen);
         let estimate = sketches[0].jaccard_estimate(&sketches[1]);
-        assert!(
-            (estimate - truth).abs() < 0.03,
-            "estimate {estimate} vs truth {truth}"
-        );
+        assert!((estimate - truth).abs() < 0.03, "estimate {estimate} vs truth {truth}");
     }
 
     #[test]

@@ -110,9 +110,8 @@ pub fn threshold_for_expected_size(weights: &[f64], family: RankFamily, expected
     if expected_size >= positive.len() as f64 {
         return f64::INFINITY;
     }
-    let expected = |tau: f64| -> f64 {
-        positive.iter().map(|&w| family.inclusion_probability(w, tau)).sum()
-    };
+    let expected =
+        |tau: f64| -> f64 { positive.iter().map(|&w| family.inclusion_probability(w, tau)).sum() };
     // Bracket the root: expected(tau) is continuous and non-decreasing in tau.
     let mut hi = 1.0 / positive.iter().copied().fold(f64::INFINITY, f64::min);
     let mut guard = 0;
@@ -152,7 +151,7 @@ mod tests {
 
     #[test]
     fn threshold_expected_size_attained() {
-        let weights: Vec<f64> = (1..=50).map(|i| f64::from(i)).collect();
+        let weights: Vec<f64> = (1..=50).map(f64::from).collect();
         for family in [RankFamily::Exp, RankFamily::Ipps] {
             for &k in &[1.0, 5.0, 20.0, 49.0] {
                 let tau = threshold_for_expected_size(&weights, family, k);
@@ -184,11 +183,7 @@ mod tests {
         let seeds = [0.22, 0.75, 0.07, 0.92, 0.55, 0.37];
         let ranked: Vec<(Key, f64, f64)> = (0..6)
             .map(|i| {
-                (
-                    i as Key + 1,
-                    RankFamily::Ipps.rank_from_seed(weights[i], seeds[i]),
-                    weights[i],
-                )
+                (i as Key + 1, RankFamily::Ipps.rank_from_seed(weights[i], seeds[i]), weights[i])
             })
             .collect();
         // Note: the paper's example lists rank 0.0583 for i3 (seed 0.07,
@@ -224,10 +219,8 @@ mod tests {
 
     #[test]
     fn membership_and_accessors() {
-        let sketch = PoissonSketch::from_ranked(
-            0.5,
-            vec![(1, 0.1, 5.0), (2, 0.9, 1.0), (3, 0.3, 2.0)],
-        );
+        let sketch =
+            PoissonSketch::from_ranked(0.5, vec![(1, 0.1, 5.0), (2, 0.9, 1.0), (3, 0.3, 2.0)]);
         assert_eq!(sketch.len(), 2);
         assert!(sketch.contains(1));
         assert!(sketch.contains(3));

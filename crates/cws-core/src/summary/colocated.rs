@@ -369,12 +369,8 @@ mod tests {
     #[test]
     fn independent_differences_is_supported_for_colocated_data() {
         let data = fixture();
-        let cfg = SummaryConfig::new(
-            25,
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            7,
-        );
+        let cfg =
+            SummaryConfig::new(25, RankFamily::Exp, CoordinationMode::IndependentDifferences, 7);
         let summary = ColocatedSummary::build(&data, &cfg);
         assert_eq!(summary.num_assignments(), 3);
         assert!(summary.num_distinct_keys() >= 25);

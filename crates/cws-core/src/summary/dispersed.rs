@@ -78,9 +78,7 @@ impl DispersedSummary {
         let mut membership: HashMap<Key, Vec<Option<(f64, f64)>>> = HashMap::new();
         for (b, sketch) in sketches.iter().enumerate() {
             for entry in sketch.entries() {
-                membership
-                    .entry(entry.key)
-                    .or_insert_with(|| vec![None; assignments])[b] =
+                membership.entry(entry.key).or_insert_with(|| vec![None; assignments])[b] =
                     Some((entry.rank, entry.weight));
             }
         }
@@ -216,10 +214,8 @@ mod tests {
     #[test]
     fn coordination_shares_more_keys_than_independence() {
         let data = fixture();
-        let coordinated =
-            DispersedSummary::build(&data, &config(CoordinationMode::SharedSeed));
-        let independent =
-            DispersedSummary::build(&data, &config(CoordinationMode::Independent));
+        let coordinated = DispersedSummary::build(&data, &config(CoordinationMode::SharedSeed));
+        let independent = DispersedSummary::build(&data, &config(CoordinationMode::Independent));
         assert!(
             coordinated.num_distinct_keys() < independent.num_distinct_keys(),
             "coordinated {} vs independent {}",
@@ -255,12 +251,8 @@ mod tests {
     #[should_panic(expected = "not suited for dispersed weights")]
     fn independent_differences_rejected() {
         let data = fixture();
-        let config = SummaryConfig::new(
-            10,
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            1,
-        );
+        let config =
+            SummaryConfig::new(10, RankFamily::Exp, CoordinationMode::IndependentDifferences, 1);
         let _ = DispersedSummary::build(&data, &config);
     }
 

@@ -17,14 +17,12 @@ mod dispersed;
 pub use colocated::{ColocatedRecord, ColocatedSummary};
 pub use dispersed::DispersedSummary;
 
-use serde::{Deserialize, Serialize};
-
 use crate::coordination::{CoordinationMode, RankGenerator};
 use crate::error::Result;
 use crate::ranks::RankFamily;
 
 /// Configuration shared by summary builders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SummaryConfig {
     /// Per-assignment sample size `k` (bottom-k).
     pub k: usize,
@@ -98,8 +96,9 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(SummaryConfig::try_new(0, RankFamily::Ipps, CoordinationMode::SharedSeed, 1)
-            .is_err());
+        assert!(
+            SummaryConfig::try_new(0, RankFamily::Ipps, CoordinationMode::SharedSeed, 1).is_err()
+        );
         assert!(SummaryConfig::try_new(
             4,
             RankFamily::Ipps,

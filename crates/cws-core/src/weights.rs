@@ -167,18 +167,16 @@ impl MultiWeighted {
     /// The full weight vector of `key`, or `None` if the key is absent.
     #[must_use]
     pub fn weight_vector(&self, key: Key) -> Option<&[f64]> {
-        self.index.get(&key).map(|&row| {
-            &self.weights[row * self.num_assignments..(row + 1) * self.num_assignments]
-        })
+        self.index
+            .get(&key)
+            .map(|&row| &self.weights[row * self.num_assignments..(row + 1) * self.num_assignments])
     }
 
     /// Iterates over `(key, weight_vector)`.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &[f64])> + '_ {
-        self.keys
-            .iter()
-            .copied()
-            .enumerate()
-            .map(move |(row, key)| (key, &self.weights[row * self.num_assignments..(row + 1) * self.num_assignments]))
+        self.keys.iter().copied().enumerate().map(move |(row, key)| {
+            (key, &self.weights[row * self.num_assignments..(row + 1) * self.num_assignments])
+        })
     }
 
     /// Total weight of assignment `b`: `Σ_i w^(b)(i)`.
@@ -235,7 +233,7 @@ impl MultiWeightedBuilder {
                 let row = self.keys.len();
                 self.index.insert(key, row);
                 self.keys.push(key);
-                self.weights.extend(std::iter::repeat(0.0).take(self.num_assignments));
+                self.weights.extend(std::iter::repeat_n(0.0, self.num_assignments));
                 row
             }
         };

@@ -130,10 +130,7 @@ mod tests {
         }
         for (i, &c) in counts.iter().enumerate() {
             let observed = c as f64 / n as f64;
-            assert!(
-                (observed - popularities[i]).abs() < 0.02,
-                "category {i}: {observed}"
-            );
+            assert!((observed - popularities[i]).abs() < 0.02, "category {i}: {observed}");
         }
     }
 

@@ -112,8 +112,7 @@ impl IpTrace {
         assert!(config.num_periods > 0, "need at least one period");
         assert!((0.0..1.0).contains(&config.churn), "churn must be in [0, 1)");
 
-        let popularity =
-            zipf_mandelbrot(config.num_dest_ips, config.popularity_exponent, 2.0);
+        let popularity = zipf_mandelbrot(config.num_dest_ips, config.popularity_exponent, 2.0);
         let destinations = CategoricalSampler::new(&popularity);
         let hasher = KeyHasher::new(config.seed ^ 0x1b);
         let mut rng = rng_for(config.seed, 1);
@@ -219,6 +218,9 @@ impl IpTrace {
         let mut flow_counts: Vec<HashMap<u64, f64>> = vec![HashMap::new(); periods];
         for flow in &self.flows {
             let id = self.key_of(flow, key);
+            // Indexes three parallel per-period arrays, so a plain range
+            // reads better than zipped iterators here.
+            #[allow(clippy::needless_range_loop)]
             for period in 0..periods {
                 if flow.packets[period] == 0.0 {
                     continue;
@@ -329,10 +331,7 @@ mod tests {
         let trace = IpTrace::generate(&small_config());
         let view = trace.dispersed(IpKey::FourTuple, IpAttribute::Packets);
         let data = &view.data;
-        let both = data
-            .iter()
-            .filter(|(_, w)| w[0] > 0.0 && w[1] > 0.0)
-            .count();
+        let both = data.iter().filter(|(_, w)| w[0] > 0.0 && w[1] > 0.0).count();
         let only_first = data.iter().filter(|(_, w)| w[0] > 0.0 && w[1] == 0.0).count();
         assert!(both > 0, "some keys persist across periods");
         assert!(only_first > 0, "some keys churn out");
@@ -345,16 +344,13 @@ mod tests {
         // Every weight is a positive integer count bounded by the flow count.
         for (_, weights) in view.data.iter() {
             for &w in weights {
-                assert!(w >= 0.0 && w <= 3000.0);
+                assert!((0.0..=3000.0).contains(&w));
                 assert_eq!(w.fract(), 0.0);
             }
         }
         // Popular destinations should attract many flows.
-        let max_count = view
-            .data
-            .iter()
-            .flat_map(|(_, w)| w.iter().copied())
-            .fold(0.0f64, f64::max);
+        let max_count =
+            view.data.iter().flat_map(|(_, w)| w.iter().copied()).fold(0.0f64, f64::max);
         assert!(max_count > 10.0, "max flow count {max_count}");
     }
 

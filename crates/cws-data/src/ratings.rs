@@ -66,8 +66,7 @@ impl RatingsData {
         assert!(config.monthly_ratings > 0.0, "need a positive rating volume");
         assert!((0.0..1.0).contains(&config.late_arrivals), "late_arrivals must be in [0, 1)");
 
-        let popularity =
-            zipf_mandelbrot(config.num_movies, config.popularity_exponent, 5.0);
+        let popularity = zipf_mandelbrot(config.num_movies, config.popularity_exponent, 5.0);
         let mut rng = rng_for(config.seed, 2);
         let mut builder = MultiWeighted::builder(config.num_months);
         for (movie, &p) in popularity.iter().enumerate() {
@@ -145,10 +144,7 @@ mod tests {
         let data = RatingsData::generate(&small_config());
         for month in 0..12 {
             let total = data.data().assignment_total(month);
-            assert!(
-                total > 10_000.0 && total < 250_000.0,
-                "month {month}: total {total}"
-            );
+            assert!(total > 10_000.0 && total < 250_000.0, "month {month}: total {total}");
         }
     }
 
@@ -164,8 +160,7 @@ mod tests {
     #[test]
     fn most_movies_are_rated_every_month() {
         let data = RatingsData::generate(&small_config());
-        let always: usize =
-            data.data().iter().filter(|(_, w)| w.iter().all(|&x| x > 0.0)).count();
+        let always: usize = data.data().iter().filter(|(_, w)| w.iter().all(|&x| x > 0.0)).count();
         assert!(
             always as f64 > 0.5 * data.dataset().num_keys() as f64,
             "only {always} movies present in all months"
@@ -188,11 +183,8 @@ mod tests {
         let mut config = small_config();
         config.late_arrivals = 0.3;
         let data = RatingsData::generate(&config);
-        let late = data
-            .data()
-            .iter()
-            .filter(|(_, w)| w[0] == 0.0 && w.iter().any(|&x| x > 0.0))
-            .count();
+        let late =
+            data.data().iter().filter(|(_, w)| w[0] == 0.0 && w.iter().any(|&x| x > 0.0)).count();
         assert!(late > 0, "expected some movies released after month 0");
     }
 }

@@ -110,8 +110,7 @@ impl StocksData {
                 let volume = if rng.next_unit() < config.no_trade_probability {
                     0.0
                 } else {
-                    (base_volume * lognormal(&mut rng, 0.0, 0.7) * (1.0 + 10.0 * ret.abs()))
-                        .round()
+                    (base_volume * lognormal(&mut rng, 0.0, 0.7) * (1.0 + 10.0 * ret.abs())).round()
                 };
                 days.push([open, high, low, close, adj_close, volume]);
                 price = close;

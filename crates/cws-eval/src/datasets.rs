@@ -110,7 +110,9 @@ pub fn ratings(scale: DatasetScale) -> RatingsData {
 #[must_use]
 pub fn stocks(scale: DatasetScale) -> StocksData {
     let config = match scale {
-        DatasetScale::Smoke => StocksConfig { num_tickers: 600, seed: 0x57, ..StocksConfig::default() },
+        DatasetScale::Smoke => {
+            StocksConfig { num_tickers: 600, seed: 0x57, ..StocksConfig::default() }
+        }
         DatasetScale::Full => {
             StocksConfig { num_tickers: 6_000, seed: 0x57, ..StocksConfig::default() }
         }

@@ -92,10 +92,8 @@ pub(super) fn fig4(scale: DatasetScale) -> ExperimentReport {
 pub(super) fn fig5(scale: DatasetScale) -> ExperimentReport {
     let ks = scale.k_sweep();
     let runs = scale.runs();
-    let mut report = ExperimentReport::new(
-        "fig5",
-        "IP dataset2 — ΣV and nΣV for hour sets {1,2} and {1,2,3,4}",
-    );
+    let mut report =
+        ExperimentReport::new("fig5", "IP dataset2 — ΣV and nΣV for hour sets {1,2} and {1,2,3,4}");
     let ip2 = datasets::ip_dataset2(scale);
     for key in [IpKey::DestIp, IpKey::FourTuple] {
         let view = ip2.dispersed(key, IpAttribute::Bytes);
@@ -160,7 +158,12 @@ pub(super) fn fig8(scale: DatasetScale) -> ExperimentReport {
     report.note("Ratios are ≥ 1 (Lemma 5.1); the advantage of the l-set varies by data set.");
 
     let ip1 = datasets::ip_dataset1(scale);
-    report.push_table(s_vs_l_panel(&ip1.dispersed(IpKey::DestIp, IpAttribute::Bytes), &[0, 1], &ks, runs));
+    report.push_table(s_vs_l_panel(
+        &ip1.dispersed(IpKey::DestIp, IpAttribute::Bytes),
+        &[0, 1],
+        &ks,
+        runs,
+    ));
     let ip2 = datasets::ip_dataset2(scale);
     report.push_table(s_vs_l_panel(
         &ip2.dispersed(IpKey::DestIp, IpAttribute::Bytes),
@@ -206,15 +209,15 @@ fn dispersed_variance_panels_with_baselines(
     columns.extend(["coord min-l", "coord max", "coord L1-l"].map(str::to_string));
     let title = format!("{} (|R|={})", dataset.name, relevant.len());
     let mut sigma = Table::new(format!("{title} — sum of square errors"), columns.clone());
-    let mut normalized =
-        Table::new(format!("{title} — normalized sum of square errors"), columns);
+    let mut normalized = Table::new(format!("{title} — normalized sum of square errors"), columns);
 
     let mut coordinated_specs: Vec<EstimatorSpec> =
         shown_baselines.iter().map(|&b| EstimatorSpec::DispersedSingle(b)).collect();
     coordinated_specs.push(EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet));
     coordinated_specs.push(EstimatorSpec::DispersedMax(relevant.to_vec()));
     coordinated_specs.push(EstimatorSpec::DispersedL1(relevant.to_vec(), SelectionKind::LSet));
-    let independent_spec = vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
+    let independent_spec =
+        vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
 
     for &k in &super::usable_ks(ks, dataset.num_keys()) {
         let coordinated = measure_dispersed(

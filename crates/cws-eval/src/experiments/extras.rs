@@ -3,13 +3,13 @@
 
 use cws_core::aggregates::{weighted_jaccard, AggregateFn};
 use cws_core::coordination::{CoordinationMode, RankGenerator};
+use cws_core::estimate::colocated::InclusiveEstimator;
 use cws_core::estimate::dispersed::SelectionKind;
+use cws_core::estimate::single::{ht_adjusted_weights, rc_adjusted_weights};
 use cws_core::ranks::RankFamily;
+use cws_core::sketch::bottomk::BottomKSketch;
 use cws_core::sketch::kmins::kmins_sketches;
 use cws_core::sketch::poisson::{threshold_for_expected_size, PoissonSketch};
-use cws_core::sketch::bottomk::BottomKSketch;
-use cws_core::estimate::single::{ht_adjusted_weights, rc_adjusted_weights};
-use cws_core::estimate::colocated::InclusiveEstimator;
 use cws_core::summary::{ColocatedSummary, SummaryConfig};
 use cws_data::ip::{IpAttribute, IpKey};
 use cws_data::stocks::StockAttribute;
@@ -43,12 +43,9 @@ pub(super) fn theorem_4_1(scale: DatasetScale) -> ExperimentReport {
             "independent-ranks estimate".to_string(),
         ],
     );
-    let generator = RankGenerator::new(
-        RankFamily::Exp,
-        CoordinationMode::IndependentDifferences,
-        0xBEEF,
-    )
-    .expect("EXP supports independent differences");
+    let generator =
+        RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 0xBEEF)
+            .expect("EXP supports independent differences");
     let independent =
         RankGenerator::new(RankFamily::Exp, CoordinationMode::Independent, 0xBEEF).expect("valid");
 
@@ -104,8 +101,13 @@ pub(super) fn ablation_rankfamily(scale: DatasetScale) -> ExperimentReport {
         EstimatorSpec::DispersedL1(vec![0, 1], SelectionKind::LSet),
     ];
     for &k in &usable_ks(&ks, view.num_keys()) {
-        let ipps = measure_dispersed(&view.data, &base_config(k, CoordinationMode::SharedSeed), &specs, runs)
-            .expect("defined");
+        let ipps = measure_dispersed(
+            &view.data,
+            &base_config(k, CoordinationMode::SharedSeed),
+            &specs,
+            runs,
+        )
+        .expect("defined");
         let exp_config =
             SummaryConfig::new(k, RankFamily::Exp, CoordinationMode::SharedSeed, 0x5EED);
         let exp = measure_dispersed(&view.data, &exp_config, &specs, runs).expect("defined");
@@ -151,8 +153,8 @@ pub(super) fn ablation_consistency(scale: DatasetScale) -> ExperimentReport {
             CoordinationMode::Independent,
         ] {
             let config = SummaryConfig::new(k, RankFamily::Exp, mode, 0x5EED);
-            let result =
-                crate::measure::measure_colocated(&view.data, &config, &specs, runs).expect("defined");
+            let result = crate::measure::measure_colocated(&view.data, &config, &specs, runs)
+                .expect("defined");
             row.push(fmt(result[0].sigma_v));
         }
         table.push_row(row);
@@ -193,7 +195,7 @@ pub(super) fn ablation_fixedsize(scale: DatasetScale) -> ExperimentReport {
         let mut fixed_mse = 0.0;
         let mut budget_mse = 0.0;
         for run in 0..runs {
-            let run_config = config.with_seed(cws_hash::mix64(0x5EED ^ u64::from(run) + 1));
+            let run_config = config.with_seed(cws_hash::mix64(0x5EED ^ (u64::from(run) + 1)));
             let fixed = ColocatedSummary::build(&view.data, &run_config);
             let budgeted =
                 ColocatedSummary::build_with_distinct_budget(&view.data, &run_config, budget);

@@ -20,18 +20,35 @@ use cws_core::summary::SummaryConfig;
 use cws_data::dataset::LabeledDataset;
 
 use crate::datasets::DatasetScale;
-use crate::measure::{
-    measure_colocated, measure_colocated_size, measure_dispersed, EstimatorSpec,
-};
+use crate::measure::{measure_colocated, measure_colocated_size, measure_dispersed, EstimatorSpec};
 use crate::report::{fmt, ExperimentReport, Table};
 
 /// The ids of all registered experiments, in presentation order.
 #[must_use]
 pub fn available_experiments() -> Vec<&'static str> {
     vec![
-        "table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "thm4_1",
-        "ablation_rankfamily", "ablation_consistency", "ablation_fixedsize",
+        "table2",
+        "table3",
+        "table4",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "thm4_1",
+        "ablation_rankfamily",
+        "ablation_consistency",
+        "ablation_fixedsize",
         "ablation_sketchkind",
     ]
 }
@@ -101,7 +118,12 @@ pub(crate) fn min_ratio_panel(
 ) -> Table {
     let mut table = Table::new(
         format!("{} (|R|={})", dataset.name, relevant.len()),
-        vec!["k".to_string(), "sigma_v ind-min".to_string(), "sigma_v coord min-l".to_string(), "ratio ind/coord".to_string()],
+        vec![
+            "k".to_string(),
+            "sigma_v ind-min".to_string(),
+            "sigma_v coord min-l".to_string(),
+            "ratio ind/coord".to_string(),
+        ],
     );
     let spec = vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
     for &k in &usable_ks(ks, dataset.num_keys()) {
@@ -158,7 +180,8 @@ pub(crate) fn dispersed_variance_panels(
     coordinated_specs.push(EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet));
     coordinated_specs.push(EstimatorSpec::DispersedMax(relevant.to_vec()));
     coordinated_specs.push(EstimatorSpec::DispersedL1(relevant.to_vec(), SelectionKind::LSet));
-    let independent_spec = vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
+    let independent_spec =
+        vec![EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::LSet)];
 
     for &k in &usable_ks(ks, dataset.num_keys()) {
         let coordinated = measure_dispersed(
@@ -198,11 +221,7 @@ pub(crate) fn s_vs_l_panel(
 ) -> Table {
     let mut table = Table::new(
         format!("{} (|R|={})", dataset.name, relevant.len()),
-        vec![
-            "k".to_string(),
-            "min-s/min-l".to_string(),
-            "L1-s/L1-l".to_string(),
-        ],
+        vec!["k".to_string(), "min-s/min-l".to_string(), "L1-s/L1-l".to_string()],
     );
     let specs = vec![
         EstimatorSpec::DispersedMin(relevant.to_vec(), SelectionKind::SSet),
@@ -260,9 +279,8 @@ pub(crate) fn colocated_ratio_panel(
             (CoordinationMode::SharedSeed, &mut coordinated_table),
             (CoordinationMode::Independent, &mut independent_table),
         ] {
-            let results =
-                measure_colocated(&dataset.data, &base_config(k, mode), &specs, runs)
-                    .expect("colocated estimators are defined");
+            let results = measure_colocated(&dataset.data, &base_config(k, mode), &specs, runs)
+                .expect("colocated estimators are defined");
             let mut row = vec![k.to_string()];
             for b in 0..assignments {
                 let inclusive = &results[2 * b];

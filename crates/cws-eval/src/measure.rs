@@ -14,7 +14,6 @@ use cws_core::estimate::colocated::{InclusiveEstimator, PlainEstimator};
 use cws_core::estimate::dispersed::{DispersedEstimator, SelectionKind};
 use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 use cws_core::weights::MultiWeighted;
-use serde::Serialize;
 
 /// An estimator under evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,7 +113,7 @@ impl EstimatorSpec {
 }
 
 /// The outcome of a Monte-Carlo variance measurement for one estimator.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VarianceMeasurement {
     /// Label of the estimator.
     pub estimator: String,
@@ -245,7 +244,7 @@ pub fn measure_colocated(
 }
 
 /// Summary-size statistics of colocated summaries (Figures 12–17).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeMeasurement {
     /// Mean number of distinct keys in the summary across runs.
     pub mean_distinct_keys: f64,
@@ -335,8 +334,7 @@ mod tests {
             assert!(result.n_sigma_v >= 0.0);
             assert!(result.exact_total > 0.0);
             assert!(
-                (result.mean_estimate - result.exact_total).abs()
-                    <= result.exact_total * 0.25,
+                (result.mean_estimate - result.exact_total).abs() <= result.exact_total * 0.25,
                 "{}: mean {} vs exact {}",
                 result.estimator,
                 result.mean_estimate,
@@ -386,18 +384,14 @@ mod tests {
     #[test]
     fn size_measurements_are_sensible() {
         let data = data();
-        let coordinated =
-            measure_colocated_size(&data, &config(CoordinationMode::SharedSeed), 30);
-        let independent =
-            measure_colocated_size(&data, &config(CoordinationMode::Independent), 30);
+        let coordinated = measure_colocated_size(&data, &config(CoordinationMode::SharedSeed), 30);
+        let independent = measure_colocated_size(&data, &config(CoordinationMode::Independent), 30);
         assert!(coordinated.mean_distinct_keys < independent.mean_distinct_keys);
         assert!(coordinated.mean_sharing_index >= 1.0 / 3.0 - 1e-9);
         assert!(independent.mean_sharing_index <= 1.0);
 
-        let disp_coord =
-            measure_dispersed_size(&data, &config(CoordinationMode::SharedSeed), 30);
-        let disp_ind =
-            measure_dispersed_size(&data, &config(CoordinationMode::Independent), 30);
+        let disp_coord = measure_dispersed_size(&data, &config(CoordinationMode::SharedSeed), 30);
+        let disp_ind = measure_dispersed_size(&data, &config(CoordinationMode::Independent), 30);
         assert!(disp_coord < disp_ind);
     }
 

@@ -1,9 +1,7 @@
 //! Structured experiment output: tables that render as text, CSV or JSON.
 
-use serde::Serialize;
-
 /// A rectangular table of results (one per figure panel or paper table).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Panel / table caption.
     pub title: String,
@@ -84,7 +82,7 @@ impl Table {
 }
 
 /// The result of one experiment (a paper table or figure).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id (`"table2"`, `"fig3"`, …) as used in DESIGN.md.
     pub id: String,
@@ -129,10 +127,89 @@ impl ExperimentReport {
     }
 
     /// Serializes the report as pretty JSON.
+    ///
+    /// Hand-rolled (the workspace builds without crates.io access, so there
+    /// is no `serde_json`); the layout matches `serde_json::to_string_pretty`
+    /// with two-space indentation.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"notes\": ");
+        push_string_array(&mut out, &self.notes, 1);
+        out.push_str(",\n  \"tables\": [");
+        for (i, table) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"title\": {},\n", json_string(&table.title)));
+            out.push_str("      \"columns\": ");
+            push_string_array(&mut out, &table.columns, 3);
+            out.push_str(",\n      \"rows\": [");
+            for (j, row) in table.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        ");
+                push_string_array(&mut out, row, 4);
+            }
+            if table.rows.is_empty() {
+                out.push(']');
+            } else {
+                out.push_str("\n      ]");
+            }
+            out.push_str("\n    }");
+        }
+        if self.tables.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}");
+        out
     }
+}
+
+/// Escapes and quotes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Appends a pretty-printed JSON array of strings at the given indent depth.
+fn push_string_array(out: &mut String, items: &[String], depth: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    let pad = "  ".repeat(depth + 1);
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str(&json_string(item));
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(depth));
+    out.push(']');
 }
 
 /// Formats a float in compact scientific-ish notation for table cells.

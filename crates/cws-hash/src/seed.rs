@@ -92,9 +92,8 @@ mod tests {
     #[test]
     fn assignment_seeds_differ_across_assignments() {
         let s = SeedSequence::new(7);
-        let equal = (0..1000)
-            .filter(|&k| s.assignment_seed(k, 0) == s.assignment_seed(k, 1))
-            .count();
+        let equal =
+            (0..1000).filter(|&k| s.assignment_seed(k, 0) == s.assignment_seed(k, 1)).count();
         assert_eq!(equal, 0);
     }
 
@@ -127,10 +126,7 @@ mod tests {
         }
         for (i, &count) in buckets.iter().enumerate() {
             let expected = n as f64 / 10.0;
-            assert!(
-                (count as f64 - expected).abs() < expected * 0.1,
-                "bucket {i} has {count}"
-            );
+            assert!((count as f64 - expected).abs() < expected * 0.1, "bucket {i} has {count}");
         }
     }
 }

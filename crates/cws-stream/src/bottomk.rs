@@ -130,12 +130,9 @@ mod tests {
 
     #[test]
     fn independent_differences_mode_is_rejected() {
-        let generator = RankGenerator::new(
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            1,
-        )
-        .unwrap();
+        let generator =
+            RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 1)
+                .unwrap();
         let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
         assert!(sampler.push(1, 2.0).is_err());
     }

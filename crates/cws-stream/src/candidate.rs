@@ -81,10 +81,7 @@ impl CandidateSet {
 
     /// Finalizes into a bottom-k sketch.
     pub(crate) fn into_sketch(self) -> BottomKSketch {
-        BottomKSketch::from_ranked(
-            self.k,
-            self.heap.into_iter().map(|c| (c.key, c.rank, c.weight)),
-        )
+        BottomKSketch::from_ranked(self.k, self.heap.into_iter().map(|c| (c.key, c.rank, c.weight)))
     }
 }
 

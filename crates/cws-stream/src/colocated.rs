@@ -98,8 +98,7 @@ impl ColocatedStreamSampler {
     #[must_use]
     pub fn finalize(mut self) -> ColocatedSummary {
         self.compact();
-        let sketches: Vec<_> =
-            self.candidates.into_iter().map(CandidateSet::into_sketch).collect();
+        let sketches: Vec<_> = self.candidates.into_iter().map(CandidateSet::into_sketch).collect();
         let kth_ranks: Vec<f64> = sketches.iter().map(|s| s.kth_rank()).collect();
         let next_ranks: Vec<f64> = sketches.iter().map(|s| s.next_rank()).collect();
 

@@ -52,9 +52,10 @@ impl DispersedStreamSampler {
     /// Returns an error if `assignment` is out of range.
     pub fn push(&mut self, assignment: usize, key: Key, weight: f64) -> Result<()> {
         let available = self.samplers.len();
-        let sampler = self.samplers.get_mut(assignment).ok_or(
-            cws_core::CwsError::AssignmentOutOfRange { index: assignment, available },
-        )?;
+        let sampler = self
+            .samplers
+            .get_mut(assignment)
+            .ok_or(cws_core::CwsError::AssignmentOutOfRange { index: assignment, available })?;
         sampler.push(key, weight)
     }
 
@@ -111,12 +112,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not suited for dispersed")]
     fn independent_differences_rejected() {
-        let config = SummaryConfig::new(
-            5,
-            RankFamily::Exp,
-            CoordinationMode::IndependentDifferences,
-            1,
-        );
+        let config =
+            SummaryConfig::new(5, RankFamily::Exp, CoordinationMode::IndependentDifferences, 1);
         let _ = DispersedStreamSampler::new(config, 2);
     }
 }

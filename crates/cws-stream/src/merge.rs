@@ -28,11 +28,13 @@ pub fn merge_disjoint_sketches(sketches: &[BottomKSketch]) -> Result<BottomKSket
             message: "all sketches must share the same k".to_string(),
         });
     }
-    Ok(BottomKSketch::from_ranked(
+    // The union's r_{k+1} may fall inside one partition's evicted tail (for
+    // example when one partition holds all of the union's k + 1 smallest
+    // ranks), so each partial's own r_{k+1} competes as a tail candidate.
+    Ok(BottomKSketch::from_ranked_with_tail(
         k,
-        sketches
-            .iter()
-            .flat_map(|s| s.entries().iter().map(|e| (e.key, e.rank, e.weight))),
+        sketches.iter().flat_map(|s| s.entries().iter().map(|e| (e.key, e.rank, e.weight))),
+        sketches.iter().map(BottomKSketch::next_rank),
     ))
 }
 
@@ -125,7 +127,7 @@ mod tests {
         let a = BottomKSketch::sample(&set, 5, RankFamily::Ipps, &seeds);
         let b = BottomKSketch::sample(&set, 6, RankFamily::Ipps, &seeds);
         assert!(merge_disjoint_sketches(&[a.clone(), b]).is_err());
-        assert!(merge_disjoint_sketches(&[a.clone()]).is_ok());
+        assert!(merge_disjoint_sketches(std::slice::from_ref(&a)).is_ok());
         assert!(merge_disjoint_summaries(&[]).is_err());
     }
 }

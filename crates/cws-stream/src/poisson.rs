@@ -67,7 +67,10 @@ impl PoissonStreamSampler {
     /// Finalizes the pass into a Poisson sketch.
     #[must_use]
     pub fn finalize(self) -> PoissonSketch {
-        PoissonSketch::from_ranked(self.tau, self.entries.into_iter().map(|e| (e.key, e.rank, e.weight)))
+        PoissonSketch::from_ranked(
+            self.tau,
+            self.entries.into_iter().map(|e| (e.key, e.rank, e.weight)),
+        )
     }
 }
 

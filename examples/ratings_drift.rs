@@ -32,8 +32,7 @@ fn main() {
         let config = SummaryConfig::new(k, RankFamily::Ipps, mode, 0xF00D);
         let summary = DispersedSummary::build(&view.data, &config);
         let estimator = DispersedEstimator::new(&summary);
-        let min_estimate =
-            estimator.min(&months, SelectionKind::LSet).unwrap().total();
+        let min_estimate = estimator.min(&months, SelectionKind::LSet).unwrap().total();
         let exact = exact_aggregate(&view.data, &AggregateFn::Min(months.clone()), |_| true);
         println!(
             "{label:>12} sketches ({} distinct movies stored): stable-audience estimate {:>10.0} \
@@ -56,7 +55,10 @@ fn main() {
         ("peak monthly audience (max)", AggregateFn::Max(months.clone())),
         ("stable audience (min)", AggregateFn::Min(months.clone())),
         ("yearly churn (L1)", AggregateFn::L1(months.clone())),
-        ("median month (6th largest)", AggregateFn::LthLargest { assignments: months.clone(), ell: 6 }),
+        (
+            "median month (6th largest)",
+            AggregateFn::LthLargest { assignments: months.clone(), ell: 6 },
+        ),
     ] {
         let exact = exact_aggregate(&view.data, &aggregate, tail);
         let estimate = match &aggregate {

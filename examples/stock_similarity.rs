@@ -15,7 +15,11 @@ use coordinated_sampling::data::stocks::{StockAttribute, StocksConfig, StocksDat
 use coordinated_sampling::prelude::*;
 
 fn main() {
-    let stocks = StocksData::generate(&StocksConfig { num_tickers: 4_000, seed: 31, ..StocksConfig::default() });
+    let stocks = StocksData::generate(&StocksConfig {
+        num_tickers: 4_000,
+        seed: 31,
+        ..StocksConfig::default()
+    });
 
     // --- Colocated summary of one trading day -----------------------------
     let day = stocks.colocated_day(0);
@@ -53,16 +57,15 @@ fn main() {
     let plain = PlainEstimator::new(&summary).single(volume).unwrap().total();
     let inclusive = adjusted_volume.total();
     let exact = day.data.assignment_total(volume);
-    println!("total volume        inclusive {inclusive:>14.0}  plain {plain:>14.0}  exact {exact:>14.0}");
+    println!(
+        "total volume        inclusive {inclusive:>14.0}  plain {plain:>14.0}  exact {exact:>14.0}"
+    );
 
     // --- Day-to-day similarity via coordinated k-mins sketches ------------
     let volumes = stocks.dispersed(StockAttribute::Volume);
-    let generator = RankGenerator::new(
-        RankFamily::Exp,
-        CoordinationMode::IndependentDifferences,
-        1234,
-    )
-    .unwrap();
+    let generator =
+        RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 1234)
+            .unwrap();
     let sketches = kmins_sketches(&volumes.data, 2_000, &generator);
     println!("\nweighted Jaccard similarity of daily traded volume (k-mins estimate vs exact):");
     for other in [1usize, 5, 22] {

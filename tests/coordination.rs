@@ -1,0 +1,144 @@
+//! Property tests for the coordination invariants (ISSUE 1, satellite 2).
+//!
+//! Two pillars of the paper are checked over generated cases:
+//!
+//! 1. **Consistency of shared-seed ranks** — for a fixed key, ranks are
+//!    monotone non-increasing in the weight across assignments, for both
+//!    rank families (Section 3 of the paper: `r^(b)(i) =
+//!    F^{-1}_{w^(b)(i)}(u(i))` with a single `u(i)` per key).
+//! 2. **Mergeability** — bottom-k sketches and dispersed summaries computed
+//!    over *disjoint* key partitions merge into exactly (bit-exact ranks)
+//!    the sketch/summary of the union, because ranks depend only on
+//!    `(seed, key, weight)` and never on which partition processed the key.
+
+mod common;
+
+use common::{arb_multiweighted, arb_positive_weight, case_rng, random_partition};
+use coordinated_sampling::core::sketch::bottomk::BottomKSketch;
+use coordinated_sampling::prelude::*;
+use coordinated_sampling::stream::{merge_disjoint_sketches, merge_disjoint_summaries};
+use cws_hash::{RandomSource, SeedSequence};
+
+const CASES: u64 = 64;
+
+/// Shared-seed consistent ranks are monotone across assignments for both
+/// rank families: a strictly larger weight never gets a strictly larger
+/// rank, equal weights get bit-identical ranks.
+#[test]
+fn shared_seed_ranks_are_monotone_across_assignments() {
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        for case in 0..CASES {
+            let rng = &mut case_rng("monotone_ranks", case);
+            let assignments = 2 + rng.next_below(6) as usize;
+            let weights: Vec<f64> = (0..assignments)
+                .map(|_| if rng.next_below(4) == 0 { 0.0 } else { arb_positive_weight(rng) })
+                .collect();
+            let key = rng.next_u64();
+            let generator =
+                RankGenerator::new(family, CoordinationMode::SharedSeed, rng.next_u64()).unwrap();
+            let ranks = generator.rank_vector(key, &weights);
+            for a in 0..assignments {
+                for b in 0..assignments {
+                    if weights[a] > weights[b] {
+                        assert!(
+                            ranks[a] <= ranks[b],
+                            "{family:?} case {case}: w={:?} ranks={ranks:?}",
+                            weights
+                        );
+                    }
+                    if weights[a] == weights[b] {
+                        assert_eq!(ranks[a].to_bits(), ranks[b].to_bits(), "{family:?} {case}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merging bottom-k sketches over a random 2–4-way disjoint key partition
+/// yields bit-exactly the sketch of the union.
+#[test]
+fn merge_disjoint_sketches_equals_union_sketch() {
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        for case in 0..CASES {
+            let rng = &mut case_rng("merge_sketches", case);
+            let n = 2 + rng.next_below(150) as usize;
+            let k = 1 + rng.next_below(24) as usize;
+            let seed = rng.next_u64();
+            let parts = 2 + rng.next_below(3) as usize;
+
+            let pairs: Vec<(Key, f64)> = (0..n)
+                .map(|key| {
+                    let w = if rng.next_below(5) == 0 { 0.0 } else { arb_positive_weight(rng) };
+                    (key as Key, w)
+                })
+                .collect();
+            let seeds = SeedSequence::new(seed);
+            let union_sketch = BottomKSketch::sample(
+                &WeightedSet::from_pairs(pairs.iter().copied()),
+                k,
+                family,
+                &seeds,
+            );
+
+            // Partition the keys and sketch each part with the same seed.
+            let mut part_pairs: Vec<Vec<(Key, f64)>> = vec![Vec::new(); parts];
+            for &(key, w) in &pairs {
+                part_pairs[rng.next_below(parts as u64) as usize].push((key, w));
+            }
+            let partials: Vec<BottomKSketch> = part_pairs
+                .iter()
+                .map(|p| {
+                    BottomKSketch::sample(
+                        &WeightedSet::from_pairs(p.iter().copied()),
+                        k,
+                        family,
+                        &seeds,
+                    )
+                })
+                .collect();
+
+            let merged = merge_disjoint_sketches(&partials).unwrap();
+            assert_eq!(merged, union_sketch, "{family:?} case {case}");
+            // Bit-exact rank agreement, stronger than f64 PartialEq (which
+            // would also accept 0.0 == -0.0).
+            for (m, u) in merged.entries().iter().zip(union_sketch.entries()) {
+                assert_eq!(m.key, u.key);
+                assert_eq!(m.rank.to_bits(), u.rank.to_bits(), "{family:?} case {case}");
+            }
+            assert_eq!(merged.next_rank().to_bits(), union_sketch.next_rank().to_bits());
+        }
+    }
+}
+
+/// Merging dispersed summaries over a random 2–4-way disjoint key partition
+/// yields bit-exactly the summary built from the union of the data.
+#[test]
+fn merge_disjoint_summaries_equals_union_summary() {
+    for case in 0..CASES {
+        let rng = &mut case_rng("merge_summaries", case);
+        let data = arb_multiweighted(rng, 120);
+        let k = 1 + rng.next_below(16) as usize;
+        let family = if rng.next_below(2) == 0 { RankFamily::Ipps } else { RankFamily::Exp };
+        let config = SummaryConfig::new(k, family, CoordinationMode::SharedSeed, rng.next_u64());
+        let parts = 2 + rng.next_below(3) as usize;
+
+        let union_summary = DispersedSummary::build(&data, &config);
+        let partials: Vec<DispersedSummary> = random_partition(&data, parts, rng)
+            .iter()
+            .map(|part| DispersedSummary::build(part, &config))
+            .collect();
+        let merged = merge_disjoint_summaries(&partials).unwrap();
+        assert_eq!(merged, union_summary, "case {case} ({parts} parts, k={k}, {family:?})");
+        for assignment in 0..data.num_assignments() {
+            for (m, u) in merged
+                .sketch(assignment)
+                .entries()
+                .iter()
+                .zip(union_summary.sketch(assignment).entries())
+            {
+                assert_eq!(m.rank.to_bits(), u.rank.to_bits(), "case {case}");
+            }
+        }
+    }
+}

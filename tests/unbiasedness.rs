@@ -1,0 +1,175 @@
+//! Property tests for estimator unbiasedness (ISSUE 1, satellite 1).
+//!
+//! The RC (rank-conditioning, bottom-k) and HT (Horvitz–Thompson, Poisson-τ)
+//! adjusted-weight estimators of the paper are unbiased: for any fixed data
+//! set and aggregate, the expectation of the adjusted-weight estimate over
+//! the random rank draws equals the exact aggregate (Theorems 5.1/6.1 of
+//! Cohen–Kaplan–Sen, VLDB 2009). We verify this empirically: across
+//! `TRIALS ≥ 200` independently seeded sampling runs, the mean estimate must
+//! be within three standard errors of the exact ground truth computed by
+//! `cws_core::aggregates`. With fixed seeds the check is deterministic.
+
+mod common;
+
+use common::mean_and_std;
+use coordinated_sampling::core::estimate::single::{ht_adjusted_weights, rc_adjusted_weights};
+use coordinated_sampling::core::sketch::bottomk::BottomKSketch;
+use coordinated_sampling::core::sketch::poisson::PoissonSketch;
+use coordinated_sampling::prelude::*;
+use cws_hash::SeedSequence;
+
+const TRIALS: u64 = 400;
+const K: usize = 16;
+
+/// Seed for trial `trial` of the test stream `tag`, decorrelated per rank
+/// family so the two families' estimate series are independent draws.
+fn trial_seed(tag: u64, family: RankFamily, trial: u64) -> u64 {
+    let family_stream = match family {
+        RankFamily::Exp => 0x1000_0000,
+        RankFamily::Ipps => 0x2000_0000,
+    };
+    tag ^ family_stream ^ (trial.wrapping_mul(0x9E37_79B9))
+}
+
+/// A fixed skewed data set: 48 keys, 3 assignments, weights spanning four
+/// orders of magnitude, some zero entries so the assignments have different
+/// supports (the regime where coordination and the multi-assignment
+/// estimators actually matter).
+fn fixture() -> MultiWeighted {
+    let mut builder = MultiWeighted::builder(3);
+    for key in 0u64..48 {
+        let base = 1.0 + (key as f64 + 1.0).powi(2) / 3.0;
+        let w0 = if key % 7 == 3 { 0.0 } else { base };
+        let w1 = if key % 5 == 1 { 0.0 } else { base * (1.0 + (key % 11) as f64 / 5.0) };
+        let w2 = 0.4 * base + (key % 13) as f64 * 2.5;
+        builder.add_vector(key, &[w0, w1, w2]);
+    }
+    builder.build()
+}
+
+/// Asserts that the mean of `estimates` is within three standard errors of
+/// `exact` (plus a tiny absolute slack for the exact-recovery corner where
+/// the empirical variance is zero).
+fn assert_unbiased(estimates: &[f64], exact: f64, context: &str) {
+    let (mean, std) = mean_and_std(estimates);
+    let standard_error = std / (estimates.len() as f64).sqrt();
+    let margin = 3.0 * standard_error + exact.abs() * 1e-9 + 1e-9;
+    assert!(
+        (mean - exact).abs() <= margin,
+        "{context}: mean {mean} deviates from exact {exact} by {} > 3·SE margin {margin}",
+        (mean - exact).abs()
+    );
+}
+
+/// RC estimator on a plain bottom-k sketch: the adjusted-weight sum of a
+/// single assignment is unbiased for the true total, for both rank families.
+#[test]
+fn rc_bottom_k_sum_is_unbiased() {
+    let data = fixture();
+    let set = data.single(0);
+    let exact = set.total();
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        let estimates: Vec<f64> = (0..TRIALS)
+            .map(|trial| {
+                let seeds = SeedSequence::new(trial_seed(0xA11CE, family, trial));
+                let sketch = BottomKSketch::sample(&set, K, family, &seeds);
+                rc_adjusted_weights(&sketch, family).total()
+            })
+            .collect();
+        assert_unbiased(&estimates, exact, &format!("RC bottom-k sum, {family:?}"));
+    }
+}
+
+/// HT estimator on a Poisson-τ sketch: the adjusted-weight sum is unbiased,
+/// for both rank families.
+#[test]
+fn ht_poisson_sum_is_unbiased() {
+    let data = fixture();
+    let set = data.single(1);
+    let exact = set.total();
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        let estimates: Vec<f64> = (0..TRIALS)
+            .map(|trial| {
+                let seeds = SeedSequence::new(trial_seed(0xB0B, family, trial));
+                let sketch = PoissonSketch::sample(&set, K as f64, family, &seeds);
+                ht_adjusted_weights(&sketch, family).total()
+            })
+            .collect();
+        assert_unbiased(&estimates, exact, &format!("HT Poisson sum, {family:?}"));
+    }
+}
+
+/// The colocated inclusive estimator is unbiased for sum, max, min and the
+/// L1 difference, for both rank families, on the full population and on a
+/// subpopulation selected after the summary was built.
+#[test]
+fn colocated_inclusive_estimators_are_unbiased() {
+    let data = fixture();
+    let all = [0usize, 1, 2];
+    let aggregates = [
+        AggregateFn::SingleAssignment(0),
+        AggregateFn::Max(all.to_vec()),
+        AggregateFn::Min(all.to_vec()),
+        AggregateFn::L1(all.to_vec()),
+    ];
+    let subpopulation = |key: Key| key % 3 != 1;
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        for aggregate in &aggregates {
+            let exact_all = exact_aggregate(&data, aggregate, |_| true);
+            let exact_sub = exact_aggregate(&data, aggregate, subpopulation);
+            let mut estimates_all = Vec::with_capacity(TRIALS as usize);
+            let mut estimates_sub = Vec::with_capacity(TRIALS as usize);
+            for trial in 0..TRIALS {
+                let config = SummaryConfig::new(
+                    K,
+                    family,
+                    CoordinationMode::SharedSeed,
+                    trial_seed(0xCAFE, family, trial),
+                );
+                let summary = ColocatedSummary::build(&data, &config);
+                let adjusted = InclusiveEstimator::new(&summary).aggregate(aggregate).unwrap();
+                estimates_all.push(adjusted.total());
+                estimates_sub.push(adjusted.subset_total(subpopulation));
+            }
+            let label = aggregate.label();
+            assert_unbiased(&estimates_all, exact_all, &format!("inclusive {label}, {family:?}"));
+            assert_unbiased(
+                &estimates_sub,
+                exact_sub,
+                &format!("inclusive {label} (subpopulation), {family:?}"),
+            );
+        }
+    }
+}
+
+/// The dispersed estimators (max, and min/L1 over the l-set selection) are
+/// unbiased for both rank families under shared-seed coordination.
+#[test]
+fn dispersed_estimators_are_unbiased() {
+    let data = fixture();
+    let all = [0usize, 1, 2];
+    for family in [RankFamily::Exp, RankFamily::Ipps] {
+        let exact_max = exact_aggregate(&data, &AggregateFn::Max(all.to_vec()), |_| true);
+        let exact_min = exact_aggregate(&data, &AggregateFn::Min(all.to_vec()), |_| true);
+        let exact_l1 = exact_aggregate(&data, &AggregateFn::L1(all.to_vec()), |_| true);
+        let mut max_estimates = Vec::with_capacity(TRIALS as usize);
+        let mut min_estimates = Vec::with_capacity(TRIALS as usize);
+        let mut l1_estimates = Vec::with_capacity(TRIALS as usize);
+        for trial in 0..TRIALS {
+            let config = SummaryConfig::new(
+                K,
+                family,
+                CoordinationMode::SharedSeed,
+                trial_seed(0xD15C, family, trial),
+            );
+            let summary = DispersedSummary::build(&data, &config);
+            let estimator = DispersedEstimator::new(&summary);
+            max_estimates.push(estimator.max(&all).unwrap().total());
+            min_estimates.push(estimator.min(&all, SelectionKind::LSet).unwrap().total());
+            l1_estimates.push(estimator.l1(&all, SelectionKind::LSet).unwrap().total());
+        }
+        assert_unbiased(&max_estimates, exact_max, &format!("dispersed max, {family:?}"));
+        assert_unbiased(&min_estimates, exact_min, &format!("dispersed min (l-set), {family:?}"));
+        assert_unbiased(&l1_estimates, exact_l1, &format!("dispersed L1 (l-set), {family:?}"));
+    }
+}
