@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the rewritten ingestion hot path (PR 2): the three
+//! layers the `ingest_baseline` binary snapshots into `BENCH_pr2.json`.
+//! The workload bodies live in [`cws_bench::workloads`], shared with that
+//! binary so the two can never desynchronize.
+//!
+//! * `single_push` — single-assignment bottom-k push throughput (flat
+//!   candidate set, threshold fast-reject).
+//! * `multi_assignment` — per-assignment hashing (`DispersedStreamSampler`)
+//!   vs the hash-once record/batch APIs (`MultiAssignmentStreamSampler`).
+//! * `sharded` — parallel ingestion at 1/2/4/8 shards.
+//!
+//! Set `CWS_BENCH_QUICK=1` for the CI smoke configuration (small dataset,
+//! few samples).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cws_bench::{ingestion_dataset, quick_mode, workloads};
+use cws_core::coordination::{CoordinationMode, RankGenerator};
+use cws_core::ranks::RankFamily;
+use cws_core::summary::SummaryConfig;
+use cws_core::weights::MultiWeighted;
+
+const ASSIGNMENTS: usize = 8;
+const K: usize = 256;
+
+fn dataset() -> MultiWeighted {
+    let keys = if quick_mode() { 5_000 } else { 100_000 };
+    ingestion_dataset(keys, ASSIGNMENTS)
+}
+
+fn samples() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        30
+    }
+}
+
+fn config() -> SummaryConfig {
+    SummaryConfig::new(K, RankFamily::Ipps, CoordinationMode::SharedSeed, 7)
+}
+
+fn bench_single_push(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("single_push");
+    group.sample_size(samples()).throughput(Throughput::Elements(data.num_keys() as u64));
+    let generator = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 7)
+        .expect("valid combination");
+    group.bench_function(BenchmarkId::new("bottomk", K), |b| {
+        b.iter(|| black_box(workloads::single_push(&data, generator, K)));
+    });
+    group.finish();
+}
+
+fn bench_multi_assignment(c: &mut Criterion) {
+    let data = dataset();
+    let config = config();
+    let mut group = c.benchmark_group("multi_assignment");
+    group.sample_size(samples()).throughput(Throughput::Elements(data.num_keys() as u64));
+    group.bench_function(BenchmarkId::new("per_assignment", ASSIGNMENTS), |b| {
+        b.iter(|| black_box(workloads::per_assignment(&data, config)));
+    });
+    group.bench_function(BenchmarkId::new("hash_once", ASSIGNMENTS), |b| {
+        b.iter(|| black_box(workloads::hash_once(&data, config)));
+    });
+    group.bench_function(BenchmarkId::new("hash_once_batch", ASSIGNMENTS), |b| {
+        b.iter(|| black_box(workloads::hash_once_batch(&data, config)));
+    });
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let data = dataset();
+    let config = config();
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(samples()).throughput(Throughput::Elements(data.num_keys() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(workloads::sharded(&data, config, shards)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_push, bench_multi_assignment, bench_sharded);
+criterion_main!(benches);

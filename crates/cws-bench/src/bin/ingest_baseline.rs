@@ -1,0 +1,258 @@
+//! Regenerates the ingestion-performance baseline (`BENCH_pr2.json`).
+//!
+//! Measures the three layers of the PR-2 ingestion rewrite — single-assignment
+//! push throughput, per-assignment hashing vs the hash-once path, and sharded
+//! scaling — on the synthetic Zipf stream, and emits a JSON snapshot so later
+//! PRs have a perf trajectory to compare against.
+//!
+//! Usage:
+//!
+//! ```text
+//! ingest_baseline [--quick] [--out PATH]
+//! ingest_baseline --check PATH      # schema drift guard (used by CI)
+//! ```
+//!
+//! `--check` regenerates the baseline in quick mode and fails (exit code 1)
+//! if the committed file's JSON key structure no longer matches what the
+//! binary produces — the signal that the schema drifted without the baseline
+//! being regenerated.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cws_bench::{ingestion_dataset, workloads};
+use cws_core::coordination::{CoordinationMode, RankGenerator};
+use cws_core::ranks::RankFamily;
+use cws_core::summary::SummaryConfig;
+use cws_core::weights::MultiWeighted;
+
+const ASSIGNMENTS: usize = 8;
+const K: usize = 256;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Options {
+    quick: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options { quick: false, out: None, check: None };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--out" => {
+                options.out = Some(iter.next().ok_or("--out requires a path")?.clone());
+            }
+            "--check" => {
+                options.check = Some(iter.next().ok_or("--check requires a path")?.clone());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Best-of-`reps` wall-clock throughput of `routine` in records per second.
+fn measure<F: FnMut() -> usize>(records: usize, reps: usize, mut routine: F) -> f64 {
+    // Warm-up run (page in the dataset, warm the branch predictors).
+    let mut guard = routine();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        guard = guard.wrapping_add(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(guard);
+    records as f64 / best
+}
+
+struct Baseline {
+    quick: bool,
+    num_keys: usize,
+    cpu_parallelism: usize,
+    single_keys_per_sec: f64,
+    per_assignment_records_per_sec: f64,
+    hash_once_records_per_sec: f64,
+    hash_once_batch_records_per_sec: f64,
+    sharded_records_per_sec: Vec<(usize, f64)>,
+}
+
+fn run_baseline(quick: bool) -> Baseline {
+    let num_keys = if quick { 10_000 } else { 200_000 };
+    let reps = if quick { 3 } else { 7 };
+    let data: MultiWeighted = ingestion_dataset(num_keys, ASSIGNMENTS);
+    let config = SummaryConfig::new(K, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+    let generator = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 7)
+        .expect("valid combination");
+
+    eprintln!("[ingest_baseline] dataset: {num_keys} keys x {ASSIGNMENTS} assignments, k={K}");
+
+    let single_keys_per_sec =
+        measure(num_keys, reps, || workloads::single_push(&data, generator, K));
+    eprintln!("[ingest_baseline] single-assignment push: {single_keys_per_sec:.3e} keys/s");
+
+    let per_assignment_records_per_sec =
+        measure(num_keys, reps, || workloads::per_assignment(&data, config));
+    eprintln!(
+        "[ingest_baseline] per-assignment hashing: {per_assignment_records_per_sec:.3e} records/s"
+    );
+
+    let hash_once_records_per_sec = measure(num_keys, reps, || workloads::hash_once(&data, config));
+    eprintln!("[ingest_baseline] hash-once: {hash_once_records_per_sec:.3e} records/s");
+
+    let hash_once_batch_records_per_sec =
+        measure(num_keys, reps, || workloads::hash_once_batch(&data, config));
+    eprintln!("[ingest_baseline] hash-once batch: {hash_once_batch_records_per_sec:.3e} records/s");
+
+    let mut sharded_records_per_sec = Vec::new();
+    for shards in SHARD_COUNTS {
+        let rate = measure(num_keys, reps, || workloads::sharded(&data, config, shards));
+        eprintln!("[ingest_baseline] sharded x{shards}: {rate:.3e} records/s");
+        sharded_records_per_sec.push((shards, rate));
+    }
+
+    Baseline {
+        quick,
+        num_keys,
+        cpu_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        single_keys_per_sec,
+        per_assignment_records_per_sec,
+        hash_once_records_per_sec,
+        hash_once_batch_records_per_sec,
+        sharded_records_per_sec,
+    }
+}
+
+/// Hand-rolled JSON (the workspace builds without crates.io, so no serde).
+fn to_json(b: &Baseline) -> String {
+    let speedup = b.hash_once_batch_records_per_sec / b.per_assignment_records_per_sec;
+    let base_rate = b.sharded_records_per_sec[0].1;
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v1\",\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
+    );
+    out.push_str(&format!("  \"quick\": {},\n", b.quick));
+    out.push_str(&format!("  \"cpu_parallelism\": {},\n", b.cpu_parallelism));
+    out.push_str("  \"dataset\": {\n");
+    out.push_str(&format!("    \"num_keys\": {},\n", b.num_keys));
+    out.push_str(&format!("    \"num_assignments\": {ASSIGNMENTS},\n"));
+    out.push_str("    \"zipf_exponent\": 1.1,\n");
+    out.push_str(&format!("    \"k\": {K}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"single_assignment\": {\n");
+    out.push_str(&format!("    \"keys_per_sec\": {:.1}\n", b.single_keys_per_sec));
+    out.push_str("  },\n");
+    out.push_str("  \"multi_assignment\": {\n");
+    out.push_str(&format!(
+        "    \"per_assignment_records_per_sec\": {:.1},\n",
+        b.per_assignment_records_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"hash_once_records_per_sec\": {:.1},\n",
+        b.hash_once_records_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"hash_once_batch_records_per_sec\": {:.1},\n",
+        b.hash_once_batch_records_per_sec
+    ));
+    out.push_str(&format!("    \"hash_once_speedup\": {speedup:.2}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"sharded\": [\n");
+    for (i, &(shards, rate)) in b.sharded_records_per_sec.iter().enumerate() {
+        let comma = if i + 1 < b.sharded_records_per_sec.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"shards\": {shards}, \"records_per_sec\": {rate:.1}, \
+             \"speedup_vs_1_shard\": {:.2} }}{comma}\n",
+            rate / base_rate
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// The ordered list of JSON object keys in `text` — the schema signature the
+/// drift guard compares. (A full parser is overkill: keys are exactly the
+/// quoted strings immediately followed by a colon.)
+fn schema_signature(text: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let after = j + 1;
+            let mut k = after;
+            while k < bytes.len() && (bytes[k] == b' ' || bytes[k] == b'\n') {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.push(text[start..j].to_string());
+            }
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: ingest_baseline [--quick] [--out PATH] | --check PATH");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = options.check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("error: cannot read `{path}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = to_json(&run_baseline(true));
+        let expected = schema_signature(&fresh);
+        let actual = schema_signature(&committed);
+        if expected != actual {
+            eprintln!("error: `{path}` does not match the baseline schema");
+            eprintln!("  expected keys: {expected:?}");
+            eprintln!("  found keys:    {actual:?}");
+            eprintln!(
+                "regenerate with: cargo run --release -p cws-bench --bin ingest_baseline \
+                       -- --out {path}"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[ingest_baseline] `{path}` matches the baseline schema");
+        return ExitCode::SUCCESS;
+    }
+
+    let json = to_json(&run_baseline(options.quick));
+    match options.out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &json) {
+                eprintln!("error: cannot write `{path}`: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[ingest_baseline] wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

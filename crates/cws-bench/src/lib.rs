@@ -19,6 +19,81 @@ pub fn tiny_dataset() -> MultiWeighted {
     correlated_zipf(2_000, 3, 1.1, 0.8, 0.2, 0xBE7C)
 }
 
+/// The synthetic Zipf stream used by the ingestion benchmarks and the
+/// `ingest_baseline` binary: `num_assignments`-wide weight vectors with
+/// mild churn, matching the multi-assignment workload of the paper.
+#[must_use]
+pub fn ingestion_dataset(num_keys: usize, num_assignments: usize) -> MultiWeighted {
+    correlated_zipf(num_keys, num_assignments, 1.1, 0.7, 0.1, 0x17_6E57)
+}
+
+/// `true` when benches should run in quick (CI smoke) mode — controlled by
+/// the `CWS_BENCH_QUICK` environment variable.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("CWS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The ingestion workloads measured by both `benches/ingestion.rs` and the
+/// `ingest_baseline` binary — one definition, so the criterion numbers and
+/// the committed JSON baseline can never desynchronize.
+///
+/// Each returns a size derived from the finalized sample so callers can
+/// `black_box` it.
+pub mod workloads {
+    use cws_core::coordination::RankGenerator;
+    use cws_core::summary::SummaryConfig;
+    use cws_core::weights::MultiWeighted;
+    use cws_stream::{
+        BottomKStreamSampler, DispersedStreamSampler, MultiAssignmentStreamSampler,
+        ShardedDispersedSampler,
+    };
+
+    /// Single-assignment bottom-k push over assignment 0 of `data`.
+    pub fn single_push(data: &MultiWeighted, generator: RankGenerator, k: usize) -> usize {
+        let mut sampler = BottomKStreamSampler::new(generator, 0, k);
+        for (key, weights) in data.iter() {
+            sampler.push(key, weights[0]).expect("dispersable coordination mode");
+        }
+        sampler.finalize().len()
+    }
+
+    /// The old multi-assignment path: one push (and one key hash) per
+    /// `(assignment, key, weight)` observation.
+    pub fn per_assignment(data: &MultiWeighted, config: SummaryConfig) -> usize {
+        let mut sampler = DispersedStreamSampler::new(config, data.num_assignments());
+        for (key, weights) in data.iter() {
+            for (assignment, &weight) in weights.iter().enumerate() {
+                sampler.push(assignment, key, weight).expect("valid assignment");
+            }
+        }
+        sampler.finalize().num_distinct_keys()
+    }
+
+    /// The hash-once path: one `push_record` per record.
+    pub fn hash_once(data: &MultiWeighted, config: SummaryConfig) -> usize {
+        let mut sampler = MultiAssignmentStreamSampler::new(config, data.num_assignments());
+        for (key, weights) in data.iter() {
+            sampler.push_record(key, weights);
+        }
+        sampler.finalize().num_distinct_keys()
+    }
+
+    /// The hash-once path fed through the batch API.
+    pub fn hash_once_batch(data: &MultiWeighted, config: SummaryConfig) -> usize {
+        let mut sampler = MultiAssignmentStreamSampler::new(config, data.num_assignments());
+        sampler.push_batch(data.iter());
+        sampler.finalize().num_distinct_keys()
+    }
+
+    /// Sharded ingestion at `shards` worker threads.
+    pub fn sharded(data: &MultiWeighted, config: SummaryConfig, shards: usize) -> usize {
+        let mut sampler = ShardedDispersedSampler::new(config, data.num_assignments(), shards);
+        sampler.push_batch(data.iter());
+        sampler.finalize().num_distinct_keys()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

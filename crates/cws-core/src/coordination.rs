@@ -153,18 +153,39 @@ impl RankGenerator {
     /// assignment order as `weights`.
     #[must_use]
     pub fn rank_vector(&self, key: Key, weights: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(weights.len());
+        self.rank_vector_into(key, weights, &mut out);
+        out
+    }
+
+    /// Writes the rank vector of a key into `out`, clearing and re-using its
+    /// allocation — the hash-once hot path of multi-assignment ingestion.
+    ///
+    /// The key is hashed exactly once per call (its shared seed, or its
+    /// pre-mixed per-assignment seed base) and the per-assignment rank
+    /// computation fans out from that state. The values written are
+    /// bit-identical to [`RankGenerator::rank_vector`] and, for the
+    /// dispersable modes, to [`RankGenerator::dispersed_rank`] called per
+    /// assignment.
+    pub fn rank_vector_into(&self, key: Key, weights: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(weights.len());
         match self.mode {
             CoordinationMode::SharedSeed => {
                 let u = self.seeds.shared_seed(key);
-                weights.iter().map(|&w| self.family.rank_from_seed(w, u)).collect()
+                out.extend(weights.iter().map(|&w| self.family.rank_from_seed(w, u)));
             }
-            CoordinationMode::Independent => weights
-                .iter()
-                .enumerate()
-                .map(|(b, &w)| self.family.rank_from_seed(w, self.seeds.assignment_seed(key, b)))
-                .collect(),
+            CoordinationMode::Independent => {
+                let seeds = self.seeds.key_seeds(key);
+                out.extend(
+                    weights
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &w)| self.family.rank_from_seed(w, seeds.assignment_seed(b))),
+                );
+            }
             CoordinationMode::IndependentDifferences => {
-                self.independent_differences_vector(key, weights)
+                self.independent_differences_into(key, weights, out);
             }
         }
     }
@@ -173,13 +194,28 @@ impl RankGenerator {
     /// weights in increasing order, draw `d_j ~ EXP[w_(j) - w_(j-1)]`
     /// independently, and give the assignment with the `j`-th smallest weight
     /// the rank `min_{a ≤ j} d_a`.
-    fn independent_differences_vector(&self, key: Key, weights: &[f64]) -> Vec<f64> {
-        let mut order: Vec<usize> = (0..weights.len()).collect();
-        order.sort_by(|&a, &b| {
+    fn independent_differences_into(&self, key: Key, weights: &[f64], ranks: &mut Vec<f64>) {
+        // Keep the per-record sort allocation-free for realistic assignment
+        // counts; only pathologically wide weight vectors fall back to the
+        // heap.
+        const STACK_ASSIGNMENTS: usize = 16;
+        let mut stack_order = [0usize; STACK_ASSIGNMENTS];
+        let mut heap_order = Vec::new();
+        let order: &mut [usize] = if weights.len() <= STACK_ASSIGNMENTS {
+            &mut stack_order[..weights.len()]
+        } else {
+            heap_order.resize(weights.len(), 0);
+            &mut heap_order
+        };
+        for (index, slot) in order.iter_mut().enumerate() {
+            *slot = index;
+        }
+        order.sort_unstable_by(|&a, &b| {
             weights[a].partial_cmp(&weights[b]).expect("weights must not be NaN")
         });
 
-        let mut ranks = vec![f64::INFINITY; weights.len()];
+        debug_assert!(ranks.is_empty(), "caller clears the output buffer");
+        ranks.resize(weights.len(), f64::INFINITY);
         let mut previous_weight = 0.0;
         let mut running_min = f64::INFINITY;
         for (level, &assignment) in order.iter().enumerate() {
@@ -199,7 +235,6 @@ impl RankGenerator {
             ranks[assignment] = running_min;
             previous_weight = weight;
         }
-        ranks
     }
 }
 
@@ -294,6 +329,28 @@ mod tests {
                         let single = gen.dispersed_rank(key, wb, b).unwrap();
                         assert_eq!(single.to_bits(), vector[b].to_bits());
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_vector_into_is_bit_identical_and_reuses_buffer() {
+        let mut buffer = Vec::new();
+        for (family, mode) in [
+            (RankFamily::Ipps, CoordinationMode::SharedSeed),
+            (RankFamily::Exp, CoordinationMode::SharedSeed),
+            (RankFamily::Ipps, CoordinationMode::Independent),
+            (RankFamily::Exp, CoordinationMode::IndependentDifferences),
+        ] {
+            let gen = RankGenerator::new(family, mode, 29).unwrap();
+            for key in 0..300u64 {
+                let w = weights_of(key);
+                let fresh = gen.rank_vector(key, &w);
+                gen.rank_vector_into(key, &w, &mut buffer);
+                assert_eq!(fresh.len(), buffer.len());
+                for (a, b) in fresh.iter().zip(&buffer) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{family:?} {mode:?} key {key}");
                 }
             }
         }

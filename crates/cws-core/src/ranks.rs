@@ -43,6 +43,24 @@ impl RankFamily {
         }
     }
 
+    /// The weight-independent numerator of the rank: for both families the
+    /// rank factors as `rank_from_seed(w, u) == rank_base(u) / w`, computed
+    /// with the exact same floating-point operations.
+    ///
+    /// The multi-assignment ingestion hot path exploits this: the base is
+    /// derived from the shared seed once per record (one hash, and for EXP
+    /// ranks one logarithm), and every assignment needs only a division —
+    /// or, for its threshold pre-filter, only a multiplication.
+    #[inline]
+    #[must_use]
+    pub fn rank_base(self, seed: f64) -> f64 {
+        debug_assert!(seed > 0.0 && seed < 1.0, "seed must be in (0,1), got {seed}");
+        match self {
+            RankFamily::Exp => -(-seed).ln_1p(),
+            RankFamily::Ipps => seed,
+        }
+    }
+
     /// The cumulative distribution `F_w(x) = Pr[r < x]` for weight `w`.
     ///
     /// This is the inclusion probability of a key with weight `w` when the
@@ -101,6 +119,19 @@ mod tests {
     fn exp_rank_matches_formula() {
         let r = RankFamily::Exp.rank_from_seed(2.0, 0.5);
         assert!((r - (-(0.5f64).ln() / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_base_over_weight_is_bit_identical_to_rank_from_seed() {
+        for family in [RankFamily::Exp, RankFamily::Ipps] {
+            for &w in &[0.001, 0.5, 1.0, 7.5, 1234.5] {
+                for &u in &[1e-12, 0.05, 0.3, 0.72, 0.999, 1.0 - 1e-12] {
+                    let direct = family.rank_from_seed(w, u);
+                    let factored = family.rank_base(u) / w;
+                    assert_eq!(direct.to_bits(), factored.to_bits(), "{family:?} w={w} u={u}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -77,8 +77,12 @@ impl BottomKSketch {
                 heap.pop();
             }
         }
-        let mut entries: Vec<SketchEntry> = heap.into_iter().map(|ByRank(e)| e).collect();
-        entries.sort_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
+        // Pre-size to the k + 1 retained entries (the heap never holds more)
+        // so finalize performs no reallocation, and sort without stability —
+        // the `(rank, key)` sort key is a total order over the entries.
+        let mut entries: Vec<SketchEntry> = Vec::with_capacity(k + 1);
+        entries.extend(heap.into_iter().map(|ByRank(e)| e));
+        entries.sort_unstable_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
         let next_rank =
             if entries.len() > k { entries.pop().expect("len > k").rank } else { f64::INFINITY };
         Self { k, entries, next_rank }

@@ -35,7 +35,7 @@ impl PoissonSketch {
             .filter(|&(_, rank, _)| rank < tau)
             .map(|(key, rank, weight)| SketchEntry { key, rank, weight })
             .collect();
-        entries.sort_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
+        entries.sort_unstable_by(|a, b| a.rank.total_cmp(&b.rank).then_with(|| a.key.cmp(&b.key)));
         Self { tau, entries }
     }
 

@@ -32,7 +32,7 @@ pub mod uniform;
 
 pub use mix::{mix64, KeyHasher};
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
-pub use seed::SeedSequence;
+pub use seed::{KeySeeds, SeedSequence};
 pub use uniform::{u64_to_open01, u64_to_unit};
 
 #[cfg(test)]

@@ -65,7 +65,28 @@ impl KeyHasher {
     #[inline]
     #[must_use]
     pub fn hash_pair(&self, a: u64, b: u64) -> u64 {
-        mix64(mum(a ^ self.seed, b ^ 0x9E37_79B9_7F4A_7C15) ^ self.seed)
+        self.hash_pair_from_base(self.pair_base(a), b)
+    }
+
+    /// Pre-mixes the first operand of [`KeyHasher::hash_pair`] so that many
+    /// second operands can be hashed against it without redoing the per-key
+    /// work — the "hash the key once" step of the multi-assignment ingestion
+    /// hot path.
+    #[inline]
+    #[must_use]
+    pub fn pair_base(&self, a: u64) -> u64 {
+        a ^ self.seed
+    }
+
+    /// Completes a pair hash from a base prepared by [`KeyHasher::pair_base`].
+    ///
+    /// Bit-identical to `hash_pair(a, b)` for `base = pair_base(a)`; this
+    /// invariant is what lets the batched rank generators fan one key hash
+    /// out across all weight assignments.
+    #[inline]
+    #[must_use]
+    pub fn hash_pair_from_base(&self, base: u64, b: u64) -> u64 {
+        mix64(mum(base, b ^ 0x9E37_79B9_7F4A_7C15) ^ self.seed)
     }
 
     /// Hashes an arbitrary byte string.
@@ -166,6 +187,17 @@ mod tests {
         let h = KeyHasher::new(9);
         assert_ne!(h.hash_pair(1, 2), h.hash_pair(2, 1));
         assert_ne!(h.hash_pair(1, 0), h.hash_u64(1));
+    }
+
+    #[test]
+    fn hash_pair_from_base_is_bit_identical() {
+        let h = KeyHasher::new(31);
+        for a in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let base = h.pair_base(a);
+            for b in 0..64u64 {
+                assert_eq!(h.hash_pair_from_base(base, b), h.hash_pair(a, b));
+            }
+        }
     }
 
     #[test]

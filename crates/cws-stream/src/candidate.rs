@@ -1,13 +1,29 @@
 //! Bounded candidate set shared by the stream samplers: the `k + 1`
 //! smallest-ranked keys seen so far (the bottom-k sample plus the key that
 //! currently defines `r_{k+1}`).
-
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! This is the innermost structure of the ingestion hot path, so it is built
+//! for the common case — a record whose rank is too large to matter — to cost
+//! exactly one load and one floating-point compare. Storage is a single flat
+//! array maintained as a binary max-heap ordered by `(rank, key)`:
+//!
+//! * one allocation of `k + 1` slots at construction, never resized;
+//! * membership is answered by scanning the (contiguous, at most `k + 1`
+//!   entry) array instead of a side `HashSet`, so accepting a candidate
+//!   touches no second structure;
+//! * the current heap-top rank is cached in `threshold` so rejection does not
+//!   even dereference the heap.
+//!
+//! The `(rank, key)` total order matches `BottomKSketch::from_ranked`
+//! exactly, so a candidate set fed any permutation of a ranked population
+//! finalizes into the bit-identical sketch the offline builder computes —
+//! including rank ties, which the previous `BinaryHeap + HashSet`
+//! implementation resolved by arrival order instead.
 
 use cws_core::sketch::bottomk::BottomKSketch;
 use cws_core::Key;
 
-/// A candidate entry ordered by rank (max-heap → largest rank on top).
+/// A candidate entry: a key with its rank and weight under one assignment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Candidate {
     rank: f64,
@@ -15,62 +31,194 @@ struct Candidate {
     weight: f64,
 }
 
-impl Eq for Candidate {}
-
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl Candidate {
+    /// Total order used by the heap: by rank, tie-broken by key. Mirrors the
+    /// eviction order of `BottomKSketch::from_ranked`.
+    #[inline]
+    fn beats(&self, other: &Self) -> bool {
+        match self.rank.total_cmp(&other.rank) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.key > other.key,
+        }
     }
 }
 
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.rank.total_cmp(&other.rank).then_with(|| self.key.cmp(&other.key))
+/// What [`CandidateSet::offer`] did with a ranked key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OfferOutcome {
+    /// The rank was infinite or not among the `k + 1` smallest; nothing
+    /// changed.
+    Rejected,
+    /// The key entered the candidate set, evicting the carried key if the
+    /// set was already full.
+    Inserted(Option<Key>),
+    /// The key was already a candidate. Its entry kept the smaller of the
+    /// two ranks (a re-offer can only improve a candidate, matching how the
+    /// offline builder would see a single, best observation).
+    Duplicate,
+}
+
+impl OfferOutcome {
+    /// Whether this offer admitted (or updated) the key.
+    ///
+    /// On an aggregated stream — each key offered at most once per set,
+    /// the documented contract of the samplers — this is equivalent to
+    /// "the key is a candidate after the call". The one divergence is a
+    /// *re-offer* of an existing candidate with a rank above the current
+    /// threshold: the fast-reject fires before the duplicate scan, so the
+    /// call reports `Rejected` even though the earlier entry remains; use
+    /// [`CandidateSet::contains`] when that distinction matters.
+    #[inline]
+    pub(crate) fn is_candidate(self) -> bool {
+        !matches!(self, OfferOutcome::Rejected)
     }
 }
 
-/// The `k + 1` smallest-ranked keys observed so far.
+/// Relative margin of [`CandidateSet::inflated_threshold`]: large enough to
+/// absorb the rounding of one multiply and one divide (each within a few
+/// ulps), small enough that essentially no rejectable candidate survives the
+/// pre-filter.
+const THRESHOLD_INFLATION: f64 = 1.0 + 1e-9;
+
+/// The `k + 1` smallest-ranked keys observed so far, in one flat allocation.
 #[derive(Debug, Clone)]
 pub(crate) struct CandidateSet {
     k: usize,
-    heap: BinaryHeap<Candidate>,
-    keys: HashSet<Key>,
+    /// Binary max-heap by `(rank, key)`; `heap.len() <= k + 1`.
+    heap: Vec<Candidate>,
+    /// Cached rank of the heap top while the set is full, `+∞` otherwise:
+    /// any strictly larger rank is rejected without touching the heap.
+    threshold: f64,
+    /// `threshold * THRESHOLD_INFLATION`, cached for the division-free
+    /// pre-filter of the hash-once ingestion path.
+    inflated: f64,
 }
 
 impl CandidateSet {
     pub(crate) fn new(k: usize) -> Self {
         assert!(k > 0, "sample size k must be positive");
-        Self { k, heap: BinaryHeap::with_capacity(k + 2), keys: HashSet::with_capacity(k + 2) }
+        Self {
+            k,
+            heap: Vec::with_capacity(k + 1),
+            threshold: f64::INFINITY,
+            inflated: f64::INFINITY,
+        }
     }
 
-    /// Offers a ranked key; returns the key evicted from the candidate set,
-    /// if any. Infinite ranks (zero weights) are ignored.
-    pub(crate) fn offer(&mut self, key: Key, rank: f64, weight: f64) -> Option<Key> {
-        if !rank.is_finite() {
-            return None;
+    /// A conservatively inflated copy of the current rejection threshold.
+    ///
+    /// For ranks of the form `base / weight` (both rank families), a
+    /// candidate with `base > weight * inflated_threshold()` is *certainly*
+    /// rejected by [`CandidateSet::offer`]: the margin covers the rounding
+    /// of the multiply and the divide, so skipping the offer is bit-exact.
+    /// This lets the multi-assignment hot loop reject with one multiply and
+    /// one compare instead of a division per assignment.
+    #[inline]
+    pub(crate) fn inflated_threshold(&self) -> f64 {
+        self.inflated
+    }
+
+    /// Offers a ranked key. Infinite ranks (zero weights) are ignored.
+    ///
+    /// Offering a key that is already a candidate does not double-insert it:
+    /// the existing entry is kept with the smaller of the two ranks. (The
+    /// previous implementation left two heap entries behind one membership
+    /// entry, desyncing `contains` after the later eviction and letting
+    /// `into_sketch` emit a duplicate key.)
+    pub(crate) fn offer(&mut self, key: Key, rank: f64, weight: f64) -> OfferOutcome {
+        // Hot path: one compare. `threshold` is +∞ until the set is full, so
+        // this also admits everything (finite) while filling.
+        if rank > self.threshold {
+            return OfferOutcome::Rejected;
         }
-        // Fast reject: a rank larger than the current (k+1)-st smallest can
-        // never enter the candidate set.
-        if self.heap.len() == self.k + 1 {
-            let worst = self.heap.peek().expect("non-empty heap");
-            if rank >= worst.rank {
-                return None;
+        if !rank.is_finite() {
+            return OfferOutcome::Rejected;
+        }
+        let candidate = Candidate { rank, key, weight };
+
+        // Duplicate guard: only reached when the rank is competitive, so the
+        // scan (contiguous, <= k + 1 entries) is off the fast-reject path.
+        if let Some(slot) = self.heap.iter().position(|c| c.key == key) {
+            if rank < self.heap[slot].rank {
+                self.heap[slot] = candidate;
+                // The entry shrank, so it can only need to move away from the
+                // root of the max-heap.
+                self.sift_down(slot);
+                self.refresh_threshold();
+            }
+            return OfferOutcome::Duplicate;
+        }
+
+        if self.heap.len() <= self.k {
+            self.heap.push(candidate);
+            self.sift_up(self.heap.len() - 1);
+            self.refresh_threshold();
+            return OfferOutcome::Inserted(None);
+        }
+
+        // Full: the new candidate enters only if it is strictly smaller than
+        // the worst under the `(rank, key)` order — ranks equal to the
+        // threshold are decided by the key tie-break, exactly like the
+        // offline builder.
+        if !self.heap[0].beats(&candidate) {
+            return OfferOutcome::Rejected;
+        }
+        let evicted = std::mem::replace(&mut self.heap[0], candidate).key;
+        self.sift_down(0);
+        self.refresh_threshold();
+        OfferOutcome::Inserted(Some(evicted))
+    }
+
+    #[inline]
+    fn refresh_threshold(&mut self) {
+        self.threshold =
+            if self.heap.len() == self.k + 1 { self.heap[0].rank } else { f64::INFINITY };
+        self.inflated = self.threshold * THRESHOLD_INFLATION;
+    }
+
+    fn sift_up(&mut self, mut index: usize) {
+        while index > 0 {
+            let parent = (index - 1) / 2;
+            if self.heap[index].beats(&self.heap[parent]) {
+                self.heap.swap(index, parent);
+                index = parent;
+            } else {
+                break;
             }
         }
-        self.heap.push(Candidate { rank, key, weight });
-        self.keys.insert(key);
-        if self.heap.len() > self.k + 1 {
-            let evicted = self.heap.pop().expect("heap overflow implies non-empty");
-            self.keys.remove(&evicted.key);
-            Some(evicted.key)
-        } else {
-            None
+    }
+
+    fn sift_down(&mut self, mut index: usize) {
+        loop {
+            let left = 2 * index + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut largest = left;
+            if right < self.heap.len() && self.heap[right].beats(&self.heap[left]) {
+                largest = right;
+            }
+            if self.heap[largest].beats(&self.heap[index]) {
+                self.heap.swap(index, largest);
+                index = largest;
+            } else {
+                break;
+            }
         }
     }
 
-    /// Whether `key` is currently a candidate.
+    /// Whether `key` is currently a candidate (a linear scan over the flat
+    /// array; for bulk membership tests collect [`CandidateSet::keys`] into
+    /// a set instead).
     pub(crate) fn contains(&self, key: Key) -> bool {
-        self.keys.contains(&key)
+        self.heap.iter().any(|c| c.key == key)
+    }
+
+    /// The keys currently held, in heap (not rank) order.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.heap.iter().map(|c| c.key)
     }
 
     /// Number of candidates currently held (at most `k + 1`).
@@ -92,16 +240,16 @@ mod tests {
     #[test]
     fn keeps_k_plus_one_smallest() {
         let mut set = CandidateSet::new(2);
-        assert_eq!(set.offer(1, 0.5, 1.0), None);
-        assert_eq!(set.offer(2, 0.4, 1.0), None);
-        assert_eq!(set.offer(3, 0.3, 1.0), None);
+        assert_eq!(set.offer(1, 0.5, 1.0), OfferOutcome::Inserted(None));
+        assert_eq!(set.offer(2, 0.4, 1.0), OfferOutcome::Inserted(None));
+        assert_eq!(set.offer(3, 0.3, 1.0), OfferOutcome::Inserted(None));
         assert_eq!(set.len(), 3);
         // Key 4 with a smaller rank evicts key 1 (largest rank).
-        assert_eq!(set.offer(4, 0.2, 1.0), Some(1));
+        assert_eq!(set.offer(4, 0.2, 1.0), OfferOutcome::Inserted(Some(1)));
         assert!(!set.contains(1));
         assert!(set.contains(4));
         // A large rank is rejected outright.
-        assert_eq!(set.offer(5, 0.9, 1.0), None);
+        assert_eq!(set.offer(5, 0.9, 1.0), OfferOutcome::Rejected);
         assert!(!set.contains(5));
         let sketch = set.into_sketch();
         assert_eq!(sketch.len(), 2);
@@ -113,7 +261,83 @@ mod tests {
     #[test]
     fn infinite_ranks_are_ignored() {
         let mut set = CandidateSet::new(2);
-        assert_eq!(set.offer(1, f64::INFINITY, 0.0), None);
+        assert_eq!(set.offer(1, f64::INFINITY, 0.0), OfferOutcome::Rejected);
         assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_offer_does_not_corrupt() {
+        // Regression: with the old BinaryHeap + HashSet pair, offering the
+        // same key twice left two heap entries behind one membership entry;
+        // a later eviction removed the key from the set while a stale heap
+        // entry survived into the sketch.
+        let mut set = CandidateSet::new(2);
+        assert_eq!(set.offer(1, 0.5, 1.0), OfferOutcome::Inserted(None));
+        assert_eq!(set.offer(1, 0.5, 1.0), OfferOutcome::Duplicate);
+        assert_eq!(set.len(), 1, "duplicate must not double-insert");
+        set.offer(2, 0.3, 1.0);
+        set.offer(3, 0.4, 1.0);
+        // Evict key 1 (the worst) and fill with better keys.
+        assert_eq!(set.offer(4, 0.2, 1.0), OfferOutcome::Inserted(Some(1)));
+        assert!(!set.contains(1));
+        let sketch = set.into_sketch();
+        let keys: Vec<Key> = sketch.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![4, 2]);
+    }
+
+    #[test]
+    fn duplicate_offer_keeps_smaller_rank() {
+        let mut set = CandidateSet::new(3);
+        set.offer(7, 0.6, 2.0);
+        set.offer(8, 0.5, 1.0);
+        // Re-offer key 7 with a better rank: the entry improves in place.
+        assert_eq!(set.offer(7, 0.1, 2.0), OfferOutcome::Duplicate);
+        assert_eq!(set.len(), 2);
+        let sketch = set.into_sketch();
+        assert_eq!(sketch.entries()[0].key, 7);
+        assert!((sketch.entries()[0].rank - 0.1).abs() < 1e-15);
+        // Re-offer with a worse rank: ignored.
+        let mut set = CandidateSet::new(3);
+        set.offer(7, 0.1, 2.0);
+        assert_eq!(set.offer(7, 0.6, 2.0), OfferOutcome::Duplicate);
+        let sketch = set.into_sketch();
+        assert!((sketch.entries()[0].rank - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_ties_resolve_by_key_like_offline_builder() {
+        // Three keys share the boundary rank; the set must keep the smaller
+        // keys exactly as BottomKSketch::from_ranked would.
+        let mut set = CandidateSet::new(1);
+        set.offer(5, 0.3, 1.0);
+        set.offer(9, 0.3, 1.0);
+        set.offer(2, 0.3, 1.0);
+        let streamed = set.into_sketch();
+        let offline =
+            BottomKSketch::from_ranked(1, vec![(5, 0.3, 1.0), (9, 0.3, 1.0), (2, 0.3, 1.0)]);
+        assert_eq!(streamed, offline);
+        assert_eq!(streamed.entries()[0].key, 2);
+    }
+
+    #[test]
+    fn matches_offline_builder_on_permutations() {
+        // Exhaustive-ish: a fixed ranked population fed in many shuffled
+        // orders always finalizes to the offline sketch.
+        let population: Vec<(Key, f64, f64)> = (0..40u64)
+            .map(|key| (key, ((key * 2654435761) % 1000) as f64 / 1000.0 + 0.001, 1.0))
+            .collect();
+        let offline = BottomKSketch::from_ranked(7, population.clone());
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        for round in 0..20 {
+            // Simple deterministic permutation churn.
+            order.rotate_left(round % population.len());
+            order.swap(round % 40, (round * 7) % 40);
+            let mut set = CandidateSet::new(7);
+            for &i in &order {
+                let (key, rank, weight) = population[i];
+                set.offer(key, rank, weight);
+            }
+            assert_eq!(set.into_sketch(), offline, "round {round}");
+        }
     }
 }

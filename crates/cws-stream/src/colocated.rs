@@ -23,6 +23,9 @@ pub struct ColocatedStreamSampler {
     num_assignments: usize,
     candidates: Vec<CandidateSet>,
     vectors: HashMap<Key, Vec<f64>>,
+    /// Reusable rank buffer so the hot path performs no per-record
+    /// allocation.
+    ranks: Vec<f64>,
     processed: u64,
     compaction_threshold: usize,
 }
@@ -43,6 +46,7 @@ impl ColocatedStreamSampler {
             num_assignments,
             candidates,
             vectors: HashMap::new(),
+            ranks: Vec::with_capacity(num_assignments),
             processed: 0,
             compaction_threshold,
         }
@@ -73,11 +77,10 @@ impl ColocatedStreamSampler {
     /// Panics if the vector length differs from the number of assignments.
     pub fn push(&mut self, key: Key, weights: &[f64]) {
         assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
-        let ranks = self.generator.rank_vector(key, weights);
+        self.generator.rank_vector_into(key, weights, &mut self.ranks);
         let mut candidate_anywhere = false;
-        for (b, (&rank, &weight)) in ranks.iter().zip(weights).enumerate() {
-            self.candidates[b].offer(key, rank, weight);
-            candidate_anywhere |= self.candidates[b].contains(key);
+        for (b, (&rank, &weight)) in self.ranks.iter().zip(weights).enumerate() {
+            candidate_anywhere |= self.candidates[b].offer(key, rank, weight).is_candidate();
         }
         if candidate_anywhere {
             self.vectors.insert(key, weights.to_vec());
@@ -89,9 +92,14 @@ impl ColocatedStreamSampler {
     }
 
     /// Drops weight vectors of keys that are no longer candidates anywhere.
+    ///
+    /// Membership is collected into one hash set up front (`O(k · |W|)`)
+    /// so the retain pass is `O(1)` per vector — the flat candidate arrays
+    /// would otherwise cost a linear scan per lookup.
     fn compact(&mut self) {
-        let candidates = &self.candidates;
-        self.vectors.retain(|&key, _| candidates.iter().any(|set| set.contains(key)));
+        let live: std::collections::HashSet<Key> =
+            self.candidates.iter().flat_map(CandidateSet::keys).collect();
+        self.vectors.retain(|key, _| live.contains(key));
     }
 
     /// Finalizes the pass into a colocated summary.

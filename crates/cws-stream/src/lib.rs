@@ -12,11 +12,18 @@
 //! * [`DispersedStreamSampler`] — one bottom-k sampler per assignment, sharing
 //!   only the hash seed; models the dispersed sites (different time periods,
 //!   different servers) that cannot communicate while sampling.
+//! * [`MultiAssignmentStreamSampler`] — the hash-once hot path: one pass over
+//!   `(key, weight-vector)` records that hashes each key once and fans the
+//!   rank computation out across all assignments, producing a dispersed
+//!   summary bit-identical to per-assignment processing.
 //! * [`ColocatedStreamSampler`] — a single pass over `(key, weight-vector)`
 //!   records that embeds one bottom-k sample per assignment and retains the
 //!   full weight vector of every candidate key.
 //! * [`merge`] — mergeability: sketches computed over disjoint partitions of
 //!   the keys (e.g. different routers) combine into the sketch of the union.
+//! * [`sharded`] — parallel ingestion: keys partitioned by hash across
+//!   `std::thread` workers with per-shard candidate sets, merged bit-exactly
+//!   at finalize.
 //!
 //! Streams are assumed to be *aggregated*: each key appears at most once per
 //! assignment (as in the paper's model where per-key weights, such as flow
@@ -32,13 +39,17 @@ pub mod bottomk;
 pub mod colocated;
 pub mod dispersed;
 pub mod merge;
+pub mod multi;
 pub mod poisson;
+pub mod sharded;
 
 pub use bottomk::BottomKStreamSampler;
 pub use colocated::ColocatedStreamSampler;
 pub use dispersed::DispersedStreamSampler;
 pub use merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+pub use multi::MultiAssignmentStreamSampler;
 pub use poisson::PoissonStreamSampler;
+pub use sharded::ShardedDispersedSampler;
 
 /// Commonly used items.
 pub mod prelude {
@@ -46,5 +57,7 @@ pub mod prelude {
     pub use crate::colocated::ColocatedStreamSampler;
     pub use crate::dispersed::DispersedStreamSampler;
     pub use crate::merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+    pub use crate::multi::MultiAssignmentStreamSampler;
     pub use crate::poisson::PoissonStreamSampler;
+    pub use crate::sharded::ShardedDispersedSampler;
 }

@@ -1,0 +1,234 @@
+//! Hash-once multi-assignment stream sampling.
+//!
+//! [`DispersedStreamSampler`](crate::DispersedStreamSampler) models truly
+//! dispersed sites: every `(assignment, key, weight)` observation is routed
+//! to its own sampler, and each push re-derives the key's seed. When the
+//! weight *vector* of a record is available at one place — the common shape
+//! of log pipelines that already aggregate per key — that per-assignment
+//! re-hashing is pure waste: shared-seed coordination means every assignment
+//! consumes the **same** `u(i)` ("What You Can Do with Coordinated Samples",
+//! Cohen–Kaplan 2012 — the single shared seed is the whole point).
+//!
+//! [`MultiAssignmentStreamSampler`] is the hash-once engine: one record pays
+//! one key hash, the rank computation fans out across all assignments from
+//! the pre-hashed state, and each assignment's flat candidate set sees the
+//! same `(key, rank, weight)` offers it would have seen from its own
+//! dispersed pass. The finalized [`DispersedSummary`] is therefore
+//! **bit-identical** to the one produced by `DispersedStreamSampler` (and by
+//! the offline builder) over the same data.
+
+use cws_core::summary::{DispersedSummary, SummaryConfig};
+use cws_core::{CoordinationMode, Key, RankGenerator};
+
+use crate::candidate::CandidateSet;
+
+/// A one-pass, hash-once sampler for streams of `(key, weight-vector)`
+/// records, producing one coordinated bottom-k sketch per assignment.
+///
+/// The stream must be aggregated: each key may be pushed at most once. (A
+/// repeated key is detected by the candidate structure and does not corrupt
+/// the sample — the smaller rank wins — but its weights are *not* summed.)
+#[derive(Debug, Clone)]
+pub struct MultiAssignmentStreamSampler {
+    config: SummaryConfig,
+    generator: RankGenerator,
+    num_assignments: usize,
+    candidates: Vec<CandidateSet>,
+    /// Reusable rank buffer: the per-record fan-out allocates nothing.
+    ranks: Vec<f64>,
+    processed: u64,
+}
+
+impl MultiAssignmentStreamSampler {
+    /// Creates a sampler for `num_assignments` assignments.
+    ///
+    /// # Panics
+    /// Panics if `num_assignments == 0` or the configuration uses
+    /// independent-differences ranks (the summary this sampler produces is
+    /// the dispersed format, which that construction cannot realize).
+    #[must_use]
+    pub fn new(config: SummaryConfig, num_assignments: usize) -> Self {
+        assert!(num_assignments > 0, "at least one assignment is required");
+        assert!(
+            config.mode != CoordinationMode::IndependentDifferences,
+            "independent-differences ranks are not suited for dispersed weights"
+        );
+        let candidates = (0..num_assignments).map(|_| CandidateSet::new(config.k)).collect();
+        Self {
+            config,
+            generator: config.generator(),
+            num_assignments,
+            candidates,
+            ranks: Vec::with_capacity(num_assignments),
+            processed: 0,
+        }
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        self.num_assignments
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Processes one record: a key with its full weight vector. The key is
+    /// hashed once; all assignments are fed from the derived rank state.
+    ///
+    /// In shared-seed mode the fan-out is division-free for rejected
+    /// assignments: both rank families factor as `rank = rank_base(u) / w`,
+    /// so a candidate set's (conservatively inflated) threshold can be
+    /// tested with one multiply — `base > w * t` — and only survivors pay
+    /// the division and the heap offer. The survivors' ranks are computed
+    /// with the exact same floating-point operations as
+    /// [`RankGenerator::dispersed_rank`], keeping the sample bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the number of assignments.
+    #[inline]
+    pub fn push_record(&mut self, key: Key, weights: &[f64]) {
+        assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        if self.generator.mode() == CoordinationMode::SharedSeed {
+            let base = self.generator.family().rank_base(self.generator.shared_seed(key));
+            for (set, &weight) in self.candidates.iter_mut().zip(weights) {
+                debug_assert!(weight >= 0.0, "weight must be non-negative");
+                // Certain rejection without dividing; see
+                // `CandidateSet::inflated_threshold` for why this is exact.
+                // Since `base > 0`, non-positive weights also land on the
+                // reject side (directly, or as a non-finite rank in
+                // `offer`), matching `rank_from_seed`'s `+∞` convention.
+                if base > weight * set.inflated_threshold() {
+                    continue;
+                }
+                set.offer(key, base / weight, weight);
+            }
+        } else {
+            self.generator.rank_vector_into(key, weights, &mut self.ranks);
+            for (set, (&rank, &weight)) in
+                self.candidates.iter_mut().zip(self.ranks.iter().zip(weights))
+            {
+                set.offer(key, rank, weight);
+            }
+        }
+        self.processed += 1;
+    }
+
+    /// Processes a batch of records.
+    ///
+    /// Today this simply delegates to
+    /// [`MultiAssignmentStreamSampler::push_record`] — it exists so callers
+    /// (and the sharded engine) hand records over at batch granularity,
+    /// letting future batch-level optimizations (structure-of-arrays rank
+    /// fan-out; see ROADMAP) land without an interface change.
+    ///
+    /// # Panics
+    /// Panics if any vector length differs from the number of assignments.
+    pub fn push_batch<'a, I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = (Key, &'a [f64])>,
+    {
+        for (key, weights) in records {
+            self.push_record(key, weights);
+        }
+    }
+
+    /// Whether `key` is currently among the candidates of `assignment`.
+    #[must_use]
+    pub fn is_candidate(&self, key: Key, assignment: usize) -> bool {
+        self.candidates[assignment].contains(key)
+    }
+
+    /// Finalizes the pass into a dispersed summary, bit-identical to the one
+    /// the per-assignment [`DispersedStreamSampler`](crate::DispersedStreamSampler)
+    /// and the offline [`DispersedSummary::build`] produce.
+    #[must_use]
+    pub fn finalize(self) -> DispersedSummary {
+        let sketches = self.candidates.into_iter().map(CandidateSet::into_sketch).collect();
+        DispersedSummary::from_sketches(self.config, sketches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispersed::DispersedStreamSampler;
+    use cws_core::ranks::RankFamily;
+    use cws_core::weights::MultiWeighted;
+
+    fn fixture(assignments: usize) -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(assignments);
+        for key in 0..900u64 {
+            for b in 0..assignments {
+                builder.add(key, b, ((key * (b as u64 + 2)) % 19) as f64);
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn hash_once_matches_per_assignment_sampler_bit_for_bit() {
+        for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+            for family in [RankFamily::Ipps, RankFamily::Exp] {
+                let data = fixture(4);
+                let config = SummaryConfig::new(32, family, mode, 2024);
+
+                let mut once = MultiAssignmentStreamSampler::new(config, 4);
+                let mut per = DispersedStreamSampler::new(config, 4);
+                for (key, weights) in data.iter() {
+                    once.push_record(key, weights);
+                    for (b, &w) in weights.iter().enumerate() {
+                        per.push(b, key, w).unwrap();
+                    }
+                }
+                assert_eq!(once.processed(), 900);
+                let a = once.finalize();
+                let b = per.finalize();
+                assert_eq!(a, b, "{family:?} {mode:?}");
+                for (sa, sb) in a.sketches().iter().zip(b.sketches()) {
+                    assert_eq!(sa.next_rank().to_bits(), sb.next_rank().to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_once_matches_offline_builder() {
+        let data = fixture(3);
+        let config = SummaryConfig::new(25, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        let mut sampler = MultiAssignmentStreamSampler::new(config, 3);
+        sampler.push_batch(data.iter());
+        assert_eq!(sampler.finalize(), DispersedSummary::build(&data, &config));
+    }
+
+    #[test]
+    fn candidate_membership_is_exposed() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 3);
+        let mut sampler = MultiAssignmentStreamSampler::new(config, 2);
+        for key in 0..200u64 {
+            sampler.push_record(key, &[(key % 7 + 1) as f64, (key % 3 + 1) as f64]);
+        }
+        let candidates = (0..200u64).filter(|&k| sampler.is_candidate(k, 0)).count();
+        assert_eq!(candidates, 6); // k + 1
+        assert_eq!(sampler.num_assignments(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_is_rejected() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let mut sampler = MultiAssignmentStreamSampler::new(config, 3);
+        sampler.push_record(1, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not suited for dispersed")]
+    fn independent_differences_rejected() {
+        let config =
+            SummaryConfig::new(5, RankFamily::Exp, CoordinationMode::IndependentDifferences, 1);
+        let _ = MultiAssignmentStreamSampler::new(config, 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! Sharded parallel ingestion: partition keys by hash across worker threads,
+//! sample each shard independently, merge bit-exactly.
+//!
+//! Bottom-k sketches over **disjoint** key partitions merge into the sketch
+//! of the union with *zero* approximation error (`BottomKSketch::
+//! from_ranked_with_tail` — each partial's `r_{k+1}` competes as a tail
+//! candidate, see [`crate::merge`]). That makes parallel ingestion free:
+//! route every record to a shard by a deterministic hash of its key, run one
+//! hash-once [`MultiAssignmentStreamSampler`] per shard on its own
+//! `std::thread`, and merge the per-shard summaries at finalize.
+//!
+//! # Parity guarantee
+//!
+//! For any shard count, batch size and arrival order, the finalized
+//! [`DispersedSummary`] is **bit-identical** (ranks, weights, `r_{k+1}`
+//! tails and all) to the one produced by a single sequential
+//! [`MultiAssignmentStreamSampler`] over the same records — sharding is an
+//! execution strategy, not an approximation. The integration suite asserts
+//! this across rank families, coordination modes and shard counts.
+//!
+//! Records travel shard-ward in flat, cache-friendly batches (a key column
+//! plus a row-major weight column) so the cross-thread traffic is one
+//! channel send per `batch_capacity` records, not per record.
+
+use std::sync::mpsc;
+use std::thread;
+
+use cws_core::summary::{DispersedSummary, SummaryConfig};
+use cws_core::Key;
+use cws_hash::KeyHasher;
+
+use crate::merge::merge_disjoint_summaries;
+use crate::multi::MultiAssignmentStreamSampler;
+
+/// Salt for the shard-routing hash stream, so routing is deterministic per
+/// master seed yet uncorrelated with the rank hashes.
+const ROUTER_STREAM: u64 = 0x5AAD_EDC0_DE00_0002;
+
+/// A flat batch of `(key, weight-vector)` records: one contiguous key column
+/// and one row-major weight column. One allocation pair per batch, regardless
+/// of record count.
+#[derive(Debug)]
+struct RecordBatch {
+    num_assignments: usize,
+    keys: Vec<Key>,
+    weights: Vec<f64>,
+}
+
+impl RecordBatch {
+    fn with_capacity(num_assignments: usize, records: usize) -> Self {
+        Self {
+            num_assignments,
+            keys: Vec::with_capacity(records),
+            weights: Vec::with_capacity(records * num_assignments),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: Key, weights: &[f64]) {
+        debug_assert_eq!(weights.len(), self.num_assignments);
+        self.keys.push(key);
+        self.weights.extend_from_slice(weights);
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (Key, &[f64])> {
+        self.keys.iter().copied().zip(self.weights.chunks_exact(self.num_assignments))
+    }
+}
+
+/// Multi-assignment ingestion parallelized over `N` key shards.
+///
+/// Construct with [`ShardedDispersedSampler::new`], feed records with
+/// [`push_record`](ShardedDispersedSampler::push_record), and call
+/// [`finalize`](ShardedDispersedSampler::finalize) to join the workers and
+/// merge their summaries. The result is bit-identical to sequential
+/// ingestion (see the module docs).
+#[derive(Debug)]
+pub struct ShardedDispersedSampler {
+    num_assignments: usize,
+    router: KeyHasher,
+    batch_capacity: usize,
+    buffers: Vec<RecordBatch>,
+    senders: Vec<mpsc::SyncSender<RecordBatch>>,
+    workers: Vec<thread::JoinHandle<DispersedSummary>>,
+    processed: u64,
+}
+
+impl ShardedDispersedSampler {
+    /// Default number of records buffered per shard before a batch is handed
+    /// to the worker thread.
+    pub const DEFAULT_BATCH_CAPACITY: usize = 1024;
+
+    /// Number of in-flight batches a shard channel holds before `push`
+    /// backpressures, bounding memory under a fast producer.
+    const CHANNEL_DEPTH: usize = 4;
+
+    /// Spawns `num_shards` worker threads for `num_assignments` assignments.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`, `num_assignments == 0`, or the
+    /// configuration uses independent-differences ranks (not realizable in
+    /// the dispersed summary format).
+    #[must_use]
+    pub fn new(config: SummaryConfig, num_assignments: usize, num_shards: usize) -> Self {
+        Self::with_batch_capacity(config, num_assignments, num_shards, Self::DEFAULT_BATCH_CAPACITY)
+    }
+
+    /// As [`ShardedDispersedSampler::new`] with an explicit batch size
+    /// (mostly for tests, which use tiny batches to force many flushes).
+    ///
+    /// # Panics
+    /// As [`ShardedDispersedSampler::new`]; additionally if
+    /// `batch_capacity == 0`.
+    #[must_use]
+    pub fn with_batch_capacity(
+        config: SummaryConfig,
+        num_assignments: usize,
+        num_shards: usize,
+        batch_capacity: usize,
+    ) -> Self {
+        assert!(num_shards > 0, "at least one shard is required");
+        assert!(batch_capacity > 0, "batch capacity must be positive");
+        // Validate eagerly on the calling thread: the same construction runs
+        // inside every worker, and a panic there would only surface later as
+        // an opaque "shard worker terminated" at push or finalize time.
+        assert!(num_assignments > 0, "at least one assignment is required");
+        assert!(
+            config.mode != cws_core::CoordinationMode::IndependentDifferences,
+            "independent-differences ranks are not suited for dispersed weights"
+        );
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (sender, receiver) = mpsc::sync_channel::<RecordBatch>(Self::CHANNEL_DEPTH);
+            workers.push(thread::spawn(move || {
+                // Constructed inside the worker so the candidate arrays are
+                // allocated (first-touched) on the thread that uses them.
+                let mut sampler = MultiAssignmentStreamSampler::new(config, num_assignments);
+                while let Ok(batch) = receiver.recv() {
+                    sampler.push_batch(batch.iter());
+                }
+                sampler.finalize()
+            }));
+            senders.push(sender);
+        }
+        let buffers = (0..num_shards)
+            .map(|_| RecordBatch::with_capacity(num_assignments, batch_capacity))
+            .collect();
+        Self {
+            num_assignments,
+            router: KeyHasher::new(config.seed).derive(ROUTER_STREAM),
+            batch_capacity,
+            buffers,
+            senders,
+            workers,
+            processed: 0,
+        }
+    }
+
+    /// Number of shards (worker threads).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of assignments.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        self.num_assignments
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The shard a key routes to — a deterministic hash uncorrelated with
+    /// the rank assignment, so sharding never biases the sample.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: Key) -> usize {
+        (self.router.hash_u64(key) % self.workers.len() as u64) as usize
+    }
+
+    /// Routes one record to its shard, flushing that shard's batch to the
+    /// worker when full.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the number of assignments,
+    /// or if a worker thread has died.
+    #[inline]
+    pub fn push_record(&mut self, key: Key, weights: &[f64]) {
+        assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        let shard = self.shard_of(key);
+        self.buffers[shard].push(key, weights);
+        self.processed += 1;
+        if self.buffers[shard].len() >= self.batch_capacity {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Routes a batch of records.
+    ///
+    /// # Panics
+    /// As [`ShardedDispersedSampler::push_record`].
+    pub fn push_batch<'a, I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = (Key, &'a [f64])>,
+    {
+        for (key, weights) in records {
+            self.push_record(key, weights);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        if self.buffers[shard].is_empty() {
+            return;
+        }
+        let full = std::mem::replace(
+            &mut self.buffers[shard],
+            RecordBatch::with_capacity(self.num_assignments, self.batch_capacity),
+        );
+        self.senders[shard].send(full).expect("shard worker terminated unexpectedly");
+    }
+
+    /// Flushes the remaining buffers, joins all workers and merges the
+    /// per-shard summaries into the summary of the full stream.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn finalize(mut self) -> DispersedSummary {
+        for shard in 0..self.buffers.len() {
+            self.flush_shard(shard);
+        }
+        // Dropping the senders closes the channels; each worker drains its
+        // queue and finalizes.
+        self.senders.clear();
+        let summaries: Vec<DispersedSummary> = self
+            .workers
+            .drain(..)
+            .map(|worker| worker.join().expect("shard worker panicked"))
+            .collect();
+        merge_disjoint_summaries(&summaries)
+            .expect("per-shard summaries share one configuration by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::ranks::RankFamily;
+    use cws_core::weights::MultiWeighted;
+    use cws_core::CoordinationMode;
+
+    fn fixture() -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(3);
+        for key in 0..1200u64 {
+            builder.add(key, 0, ((key % 17) + 1) as f64);
+            builder.add(key, 1, ((key % 5) * 3) as f64);
+            builder.add(key, 2, ((key * 7) % 23) as f64);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn sharded_equals_sequential_bit_for_bit() {
+        let data = fixture();
+        let config = SummaryConfig::new(40, RankFamily::Ipps, CoordinationMode::SharedSeed, 9);
+        let mut sequential = MultiAssignmentStreamSampler::new(config, 3);
+        sequential.push_batch(data.iter());
+        let expected = sequential.finalize();
+
+        for shards in [1usize, 2, 4, 8] {
+            // Tiny batches force many channel round-trips.
+            let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, shards, 16);
+            assert_eq!(sharded.num_shards(), shards);
+            sharded.push_batch(data.iter());
+            assert_eq!(sharded.processed(), 1200);
+            let got = sharded.finalize();
+            assert_eq!(got, expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let config = SummaryConfig::new(4, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let sampler = ShardedDispersedSampler::new(config, 2, 4);
+        let other = ShardedDispersedSampler::new(config, 2, 4);
+        let mut seen = [false; 4];
+        for key in 0..1000u64 {
+            let shard = sampler.shard_of(key);
+            assert_eq!(shard, other.shard_of(key));
+            assert!(shard < 4);
+            seen[shard] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards receive traffic");
+        // Finalizing without records yields empty sketches, not a hang.
+        let summary = sampler.finalize();
+        assert_eq!(summary.num_distinct_keys(), 0);
+        let _ = other.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let config = SummaryConfig::new(4, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let _ = ShardedDispersedSampler::new(config, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not suited for dispersed")]
+    fn independent_differences_rejected_eagerly() {
+        let config =
+            SummaryConfig::new(4, RankFamily::Exp, CoordinationMode::IndependentDifferences, 1);
+        let _ = ShardedDispersedSampler::new(config, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one assignment")]
+    fn zero_assignments_rejected_eagerly() {
+        let config = SummaryConfig::new(4, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let _ = ShardedDispersedSampler::new(config, 0, 2);
+    }
+}

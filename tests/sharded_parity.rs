@@ -1,0 +1,140 @@
+//! Bit-exactness of the PR-2 ingestion engine (ISSUE 2, tentpole + satellite
+//! 3): the hash-once multi-assignment sampler and the sharded parallel
+//! engine must produce summaries **bit-identical** to sequential
+//! per-assignment ingestion and to the offline builder, for every rank
+//! family, dispersable coordination mode, shard count and arrival order.
+
+mod common;
+
+use common::{arb_multiweighted, case_rng, shuffle, MASTER_SEED};
+use coordinated_sampling::prelude::*;
+use coordinated_sampling::stream::sharded::ShardedDispersedSampler;
+use coordinated_sampling::stream::{DispersedStreamSampler, MultiAssignmentStreamSampler};
+use cws_hash::RandomSource;
+
+const CASES: u64 = 24;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// All (family, mode) combinations realizable in the dispersed model.
+fn dispersable_configs(k: usize, seed: u64) -> Vec<SummaryConfig> {
+    let mut configs = Vec::new();
+    for family in [RankFamily::Ipps, RankFamily::Exp] {
+        for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+            configs.push(SummaryConfig::new(k, family, mode, seed));
+        }
+    }
+    configs
+}
+
+/// Asserts full structural equality plus explicit bit-equality of the
+/// per-assignment rank tails (`r_{k+1}` is easy to get "approximately right"
+/// while breaking estimators, so it is checked to the bit).
+fn assert_bit_identical(a: &DispersedSummary, b: &DispersedSummary, context: &str) {
+    assert_eq!(a, b, "{context}");
+    for (sa, sb) in a.sketches().iter().zip(b.sketches()) {
+        assert_eq!(sa.next_rank().to_bits(), sb.next_rank().to_bits(), "{context}: next_rank");
+        assert_eq!(sa.kth_rank().to_bits(), sb.kth_rank().to_bits(), "{context}: kth_rank");
+        for (ea, eb) in sa.entries().iter().zip(sb.entries()) {
+            assert_eq!(ea.key, eb.key, "{context}");
+            assert_eq!(ea.rank.to_bits(), eb.rank.to_bits(), "{context}: entry rank");
+            assert_eq!(ea.weight.to_bits(), eb.weight.to_bits(), "{context}: entry weight");
+        }
+    }
+}
+
+/// Sharded ingestion equals sequential hash-once ingestion for every rank
+/// family × coordination mode × shard count, over seeded shuffled streams.
+#[test]
+fn sharded_equals_sequential_for_all_families_and_shard_counts() {
+    for case in 0..CASES {
+        let rng = &mut case_rng("sharded_parity", case);
+        let data = arb_multiweighted(rng, 120);
+        let assignments = data.num_assignments();
+        let k = 1 + rng.next_below(14) as usize;
+
+        let mut records: Vec<(Key, Vec<f64>)> =
+            data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
+        shuffle(&mut records, rng);
+
+        for config in dispersable_configs(k, MASTER_SEED ^ case) {
+            let mut sequential = MultiAssignmentStreamSampler::new(config, assignments);
+            for (key, weights) in &records {
+                sequential.push_record(*key, weights);
+            }
+            let expected = sequential.finalize();
+
+            for shards in SHARD_COUNTS {
+                // A small batch capacity forces many cross-thread flushes.
+                let mut sharded =
+                    ShardedDispersedSampler::with_batch_capacity(config, assignments, shards, 8);
+                for (key, weights) in &records {
+                    sharded.push_record(*key, weights);
+                }
+                let got = sharded.finalize();
+                assert_bit_identical(
+                    &got,
+                    &expected,
+                    &format!(
+                        "case {case}: {:?}/{:?} k={k} shards={shards}",
+                        config.family, config.mode
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The hash-once sampler equals the per-assignment dispersed sampler and the
+/// offline builder on shuffled streams — one key hash per record loses
+/// nothing.
+#[test]
+fn hash_once_equals_per_assignment_and_offline() {
+    for case in 0..CASES {
+        let rng = &mut case_rng("hash_once_parity", case);
+        let data = arb_multiweighted(rng, 120);
+        let assignments = data.num_assignments();
+        let k = 1 + rng.next_below(14) as usize;
+
+        let mut records: Vec<(Key, Vec<f64>)> =
+            data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
+        shuffle(&mut records, rng);
+
+        for config in dispersable_configs(k, MASTER_SEED ^ (case << 1)) {
+            let offline = DispersedSummary::build(&data, &config);
+
+            let mut once = MultiAssignmentStreamSampler::new(config, assignments);
+            let mut per = DispersedStreamSampler::new(config, assignments);
+            for (key, weights) in &records {
+                once.push_record(*key, weights);
+                for (b, &w) in weights.iter().enumerate() {
+                    per.push(b, *key, w).unwrap();
+                }
+            }
+            let context = format!("case {case}: {:?}/{:?} k={k}", config.family, config.mode);
+            let once = once.finalize();
+            assert_bit_identical(&once, &per.finalize(), &context);
+            assert_bit_identical(&once, &offline, &context);
+        }
+    }
+}
+
+/// Shard routing never loses or duplicates a record: the shard sizes sum to
+/// the stream length, and the merged summary's union keys all exist in the
+/// input.
+#[test]
+fn sharded_record_accounting() {
+    let rng = &mut case_rng("sharded_accounting", 0);
+    let data = arb_multiweighted(rng, 200);
+    let assignments = data.num_assignments();
+    let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 5);
+
+    let mut sharded = ShardedDispersedSampler::new(config, assignments, 4);
+    for (key, weights) in data.iter() {
+        sharded.push_record(key, weights);
+    }
+    assert_eq!(sharded.processed(), data.num_keys() as u64);
+    let summary = sharded.finalize();
+    for key in summary.union_keys() {
+        assert!((key as usize) < data.num_keys(), "unknown key {key} in summary");
+    }
+}
