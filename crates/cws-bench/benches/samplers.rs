@@ -55,7 +55,7 @@ fn bench_stream_samplers(c: &mut Criterion) {
             b.iter(|| {
                 let mut sampler = ColocatedStreamSampler::new(config, data.num_assignments());
                 for (key, weights) in data.iter() {
-                    sampler.push(key, weights);
+                    sampler.push(key, weights).expect("valid weights");
                 }
                 black_box(sampler.finalize().num_distinct_keys())
             });

@@ -1,9 +1,10 @@
-//! Regenerates the ingestion-performance baseline (`BENCH_pr2.json`).
+//! Regenerates the ingestion-performance baseline (`BENCH_pr3.json`).
 //!
-//! Measures the three layers of the PR-2 ingestion rewrite — single-assignment
-//! push throughput, per-assignment hashing vs the hash-once path, and sharded
-//! scaling — on the synthetic Zipf stream, and emits a JSON snapshot so later
-//! PRs have a perf trajectory to compare against.
+//! Measures the layers of the ingestion hot path — single-assignment push
+//! throughput (scalar and batched), per-assignment hashing vs the hash-once
+//! row and column paths, and sharded scaling over both the per-record and
+//! the zero-copy column handoff — on the synthetic Zipf stream, and emits a
+//! JSON snapshot so later PRs have a perf trajectory to compare against.
 //!
 //! Usage:
 //!
@@ -18,9 +19,11 @@
 //! being regenerated.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use cws_bench::{ingestion_dataset, workloads};
+use cws_bench::{ingestion_columns, ingestion_dataset, workloads};
+use cws_core::columns::RecordColumns;
 use cws_core::coordination::{CoordinationMode, RankGenerator};
 use cws_core::ranks::RankFamily;
 use cws_core::summary::SummaryConfig;
@@ -29,6 +32,8 @@ use cws_core::weights::MultiWeighted;
 const ASSIGNMENTS: usize = 8;
 const K: usize = 256;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Records per shared batch on the zero-copy sharded route.
+const SHARED_BATCH: usize = 8192;
 
 struct Options {
     quick: bool,
@@ -73,16 +78,22 @@ struct Baseline {
     num_keys: usize,
     cpu_parallelism: usize,
     single_keys_per_sec: f64,
+    single_batch_keys_per_sec: f64,
     per_assignment_records_per_sec: f64,
     hash_once_records_per_sec: f64,
     hash_once_batch_records_per_sec: f64,
-    sharded_records_per_sec: Vec<(usize, f64)>,
+    hash_once_columns_records_per_sec: f64,
+    /// Per shard count: (shards, per-record route, zero-copy column route).
+    sharded_records_per_sec: Vec<(usize, f64, f64)>,
 }
 
 fn run_baseline(quick: bool) -> Baseline {
     let num_keys = if quick { 10_000 } else { 200_000 };
     let reps = if quick { 3 } else { 7 };
     let data: MultiWeighted = ingestion_dataset(num_keys, ASSIGNMENTS);
+    let columns = ingestion_columns(num_keys, ASSIGNMENTS);
+    let batches: Vec<Arc<RecordColumns>> =
+        columns.split(SHARED_BATCH).into_iter().map(Arc::new).collect();
     let config = SummaryConfig::new(K, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
     let generator = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 7)
         .expect("valid combination");
@@ -92,6 +103,12 @@ fn run_baseline(quick: bool) -> Baseline {
     let single_keys_per_sec =
         measure(num_keys, reps, || workloads::single_push(&data, generator, K));
     eprintln!("[ingest_baseline] single-assignment push: {single_keys_per_sec:.3e} keys/s");
+
+    let single_batch_keys_per_sec =
+        measure(num_keys, reps, || workloads::single_push_batch(&columns, generator, K));
+    eprintln!(
+        "[ingest_baseline] single-assignment batch push: {single_batch_keys_per_sec:.3e} keys/s"
+    );
 
     let per_assignment_records_per_sec =
         measure(num_keys, reps, || workloads::per_assignment(&data, config));
@@ -106,11 +123,22 @@ fn run_baseline(quick: bool) -> Baseline {
         measure(num_keys, reps, || workloads::hash_once_batch(&data, config));
     eprintln!("[ingest_baseline] hash-once batch: {hash_once_batch_records_per_sec:.3e} records/s");
 
+    let hash_once_columns_records_per_sec =
+        measure(num_keys, reps, || workloads::hash_once_columns(&columns, config));
+    eprintln!(
+        "[ingest_baseline] hash-once columns: {hash_once_columns_records_per_sec:.3e} records/s"
+    );
+
     let mut sharded_records_per_sec = Vec::new();
     for shards in SHARD_COUNTS {
-        let rate = measure(num_keys, reps, || workloads::sharded(&data, config, shards));
-        eprintln!("[ingest_baseline] sharded x{shards}: {rate:.3e} records/s");
-        sharded_records_per_sec.push((shards, rate));
+        let record_rate = measure(num_keys, reps, || workloads::sharded(&data, config, shards));
+        let column_rate =
+            measure(num_keys, reps, || workloads::sharded_columns(&batches, config, shards));
+        eprintln!(
+            "[ingest_baseline] sharded x{shards}: {record_rate:.3e} records/s per-record, \
+             {column_rate:.3e} records/s columns"
+        );
+        sharded_records_per_sec.push((shards, record_rate, column_rate));
     }
 
     Baseline {
@@ -118,9 +146,11 @@ fn run_baseline(quick: bool) -> Baseline {
         num_keys,
         cpu_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
         single_keys_per_sec,
+        single_batch_keys_per_sec,
         per_assignment_records_per_sec,
         hash_once_records_per_sec,
         hash_once_batch_records_per_sec,
+        hash_once_columns_records_per_sec,
         sharded_records_per_sec,
     }
 }
@@ -128,9 +158,11 @@ fn run_baseline(quick: bool) -> Baseline {
 /// Hand-rolled JSON (the workspace builds without crates.io, so no serde).
 fn to_json(b: &Baseline) -> String {
     let speedup = b.hash_once_batch_records_per_sec / b.per_assignment_records_per_sec;
-    let base_rate = b.sharded_records_per_sec[0].1;
+    let columns_speedup = b.hash_once_columns_records_per_sec / b.per_assignment_records_per_sec;
+    let batch_speedup = b.single_batch_keys_per_sec / b.single_keys_per_sec;
+    let base_rate = b.sharded_records_per_sec[0].2;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"cws-ingestion-baseline/v1\",\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v2\",\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
     );
@@ -143,7 +175,9 @@ fn to_json(b: &Baseline) -> String {
     out.push_str(&format!("    \"k\": {K}\n"));
     out.push_str("  },\n");
     out.push_str("  \"single_assignment\": {\n");
-    out.push_str(&format!("    \"keys_per_sec\": {:.1}\n", b.single_keys_per_sec));
+    out.push_str(&format!("    \"keys_per_sec\": {:.1},\n", b.single_keys_per_sec));
+    out.push_str(&format!("    \"batch_keys_per_sec\": {:.1},\n", b.single_batch_keys_per_sec));
+    out.push_str(&format!("    \"batch_speedup\": {batch_speedup:.2}\n"));
     out.push_str("  },\n");
     out.push_str("  \"multi_assignment\": {\n");
     out.push_str(&format!(
@@ -158,15 +192,23 @@ fn to_json(b: &Baseline) -> String {
         "    \"hash_once_batch_records_per_sec\": {:.1},\n",
         b.hash_once_batch_records_per_sec
     ));
-    out.push_str(&format!("    \"hash_once_speedup\": {speedup:.2}\n"));
+    out.push_str(&format!(
+        "    \"hash_once_columns_records_per_sec\": {:.1},\n",
+        b.hash_once_columns_records_per_sec
+    ));
+    out.push_str(&format!("    \"hash_once_speedup\": {speedup:.2},\n"));
+    out.push_str(&format!("    \"hash_once_columns_speedup\": {columns_speedup:.2}\n"));
     out.push_str("  },\n");
     out.push_str("  \"sharded\": [\n");
-    for (i, &(shards, rate)) in b.sharded_records_per_sec.iter().enumerate() {
+    for (i, &(shards, record_rate, column_rate)) in b.sharded_records_per_sec.iter().enumerate() {
         let comma = if i + 1 < b.sharded_records_per_sec.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{ \"shards\": {shards}, \"records_per_sec\": {rate:.1}, \
-             \"speedup_vs_1_shard\": {:.2} }}{comma}\n",
-            rate / base_rate
+            "    {{ \"shards\": {shards}, \"records_per_sec\": {record_rate:.1}, \
+             \"columns_records_per_sec\": {column_rate:.1}, \
+             \"columns_speedup_vs_1_shard\": {:.2}, \
+             \"columns_share_of_unsharded\": {:.2} }}{comma}\n",
+            column_rate / base_rate,
+            column_rate / b.hash_once_columns_records_per_sec
         ));
     }
     out.push_str("  ]\n");

@@ -4,8 +4,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cws_core::columns::RecordColumns;
 use cws_core::weights::MultiWeighted;
-use cws_data::synthetic::correlated_zipf;
+use cws_data::synthetic::{correlated_zipf, correlated_zipf_columns};
 
 /// A medium, skewed, three-assignment data set used by the micro-benchmarks.
 #[must_use]
@@ -27,6 +28,14 @@ pub fn ingestion_dataset(num_keys: usize, num_assignments: usize) -> MultiWeight
     correlated_zipf(num_keys, num_assignments, 1.1, 0.7, 0.1, 0x17_6E57)
 }
 
+/// [`ingestion_dataset`] emitted natively in structure-of-arrays form —
+/// record-for-record bit-identical to the row-major variant, so columnar and
+/// row-major workloads measure the same stream.
+#[must_use]
+pub fn ingestion_columns(num_keys: usize, num_assignments: usize) -> RecordColumns {
+    correlated_zipf_columns(num_keys, num_assignments, 1.1, 0.7, 0.1, 0x17_6E57)
+}
+
 /// `true` when benches should run in quick (CI smoke) mode — controlled by
 /// the `CWS_BENCH_QUICK` environment variable.
 #[must_use]
@@ -41,6 +50,9 @@ pub fn quick_mode() -> bool {
 /// Each returns a size derived from the finalized sample so callers can
 /// `black_box` it.
 pub mod workloads {
+    use std::sync::Arc;
+
+    use cws_core::columns::RecordColumns;
     use cws_core::coordination::RankGenerator;
     use cws_core::summary::SummaryConfig;
     use cws_core::weights::MultiWeighted;
@@ -53,8 +65,19 @@ pub mod workloads {
     pub fn single_push(data: &MultiWeighted, generator: RankGenerator, k: usize) -> usize {
         let mut sampler = BottomKStreamSampler::new(generator, 0, k);
         for (key, weights) in data.iter() {
-            sampler.push(key, weights[0]).expect("dispersable coordination mode");
+            sampler.push(key, weights[0]).expect("valid weights and coordination mode");
         }
+        sampler.finalize().len()
+    }
+
+    /// Single-assignment bottom-k over the same stream as
+    /// [`single_push`], fed as one key column plus one weight lane through
+    /// the chunked pre-filter batch API.
+    pub fn single_push_batch(columns: &RecordColumns, generator: RankGenerator, k: usize) -> usize {
+        let mut sampler = BottomKStreamSampler::new(generator, 0, k);
+        sampler
+            .push_batch(columns.keys(), columns.lane(0))
+            .expect("valid weights and coordination mode");
         sampler.finalize().len()
     }
 
@@ -74,23 +97,48 @@ pub mod workloads {
     pub fn hash_once(data: &MultiWeighted, config: SummaryConfig) -> usize {
         let mut sampler = MultiAssignmentStreamSampler::new(config, data.num_assignments());
         for (key, weights) in data.iter() {
-            sampler.push_record(key, weights);
+            sampler.push_record(key, weights).expect("valid weights");
         }
         sampler.finalize().num_distinct_keys()
     }
 
-    /// The hash-once path fed through the batch API.
+    /// The hash-once path fed through the row-major batch API.
     pub fn hash_once_batch(data: &MultiWeighted, config: SummaryConfig) -> usize {
         let mut sampler = MultiAssignmentStreamSampler::new(config, data.num_assignments());
-        sampler.push_batch(data.iter());
+        sampler.push_batch(data.iter()).expect("valid weights");
         sampler.finalize().num_distinct_keys()
     }
 
-    /// Sharded ingestion at `shards` worker threads.
+    /// The hash-once path fed as structure-of-arrays columns (the chunked
+    /// pre-filter kernels of `push_columns`).
+    pub fn hash_once_columns(columns: &RecordColumns, config: SummaryConfig) -> usize {
+        let mut sampler = MultiAssignmentStreamSampler::new(config, columns.num_assignments());
+        sampler.push_columns(columns).expect("valid weights");
+        sampler.finalize().num_distinct_keys()
+    }
+
+    /// Sharded ingestion at `shards` worker threads, fed record-at-a-time
+    /// (the PR-2 handoff: every record is copied into a shard buffer).
     pub fn sharded(data: &MultiWeighted, config: SummaryConfig, shards: usize) -> usize {
         let mut sampler = ShardedDispersedSampler::new(config, data.num_assignments(), shards);
-        sampler.push_batch(data.iter());
-        sampler.finalize().num_distinct_keys()
+        sampler.push_batch(data.iter()).expect("valid weights");
+        sampler.finalize().expect("no worker failure").num_distinct_keys()
+    }
+
+    /// Sharded ingestion fed pre-chunked shared column batches — the
+    /// zero-copy handoff (with one shard the `Arc` goes to the worker
+    /// untouched; with more, columns are partitioned into pooled buffers).
+    pub fn sharded_columns(
+        batches: &[Arc<RecordColumns>],
+        config: SummaryConfig,
+        shards: usize,
+    ) -> usize {
+        let num_assignments = batches.first().map_or(1, |b| b.num_assignments());
+        let mut sampler = ShardedDispersedSampler::new(config, num_assignments, shards);
+        for batch in batches {
+            sampler.push_columns_shared(batch).expect("valid weights");
+        }
+        sampler.finalize().expect("no worker failure").num_distinct_keys()
     }
 }
 
@@ -103,5 +151,31 @@ mod tests {
         let tiny = tiny_dataset();
         assert_eq!(tiny.num_keys(), 2_000);
         assert_eq!(tiny.num_assignments(), 3);
+    }
+
+    #[test]
+    fn columnar_and_row_major_workloads_sample_identically() {
+        use cws_core::coordination::{CoordinationMode, RankGenerator};
+        use cws_core::ranks::RankFamily;
+        use cws_core::summary::SummaryConfig;
+        use std::sync::Arc;
+
+        let data = ingestion_dataset(3_000, 4);
+        let columns = ingestion_columns(3_000, 4);
+        assert_eq!(columns, data.to_columns(), "generators must emit the same stream");
+
+        let config = SummaryConfig::new(64, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        let generator = RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 7)
+            .expect("valid combination");
+        assert_eq!(
+            workloads::single_push(&data, generator, 64),
+            workloads::single_push_batch(&columns, generator, 64)
+        );
+        let expected = workloads::hash_once_batch(&data, config);
+        assert_eq!(workloads::hash_once_columns(&columns, config), expected);
+        let batches: Vec<Arc<_>> = columns.split(512).into_iter().map(Arc::new).collect();
+        for shards in [1usize, 3] {
+            assert_eq!(workloads::sharded_columns(&batches, config, shards), expected);
+        }
     }
 }

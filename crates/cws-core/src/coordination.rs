@@ -123,15 +123,36 @@ impl RankGenerator {
         self.seeds.shared_seed(key)
     }
 
+    /// Errors unless this generator can produce dispersed (per-assignment)
+    /// ranks — the one place the "independent differences cannot be
+    /// dispersed" error is constructed, shared by the scalar and batched
+    /// ingestion paths.
+    ///
+    /// # Errors
+    /// Returns [`CwsError::UnsupportedEstimator`] in independent-differences
+    /// mode, which requires the full weight vector and therefore cannot be
+    /// used with dispersed data (Section 4, "Computing coordinated
+    /// sketches").
+    #[inline]
+    pub fn require_dispersable(&self) -> Result<()> {
+        match self.mode {
+            CoordinationMode::IndependentDifferences => Err(CwsError::UnsupportedEstimator {
+                estimator: "dispersed_rank",
+                reason: "independent-differences ranks require the full weight vector and are \
+                         not suited for dispersed weights",
+            }),
+            CoordinationMode::SharedSeed | CoordinationMode::Independent => Ok(()),
+        }
+    }
+
     /// Rank of `key` under a single assignment, usable in the dispersed model
     /// where only `w^(b)(i)` is known to the processing site of assignment
     /// `b`.
     ///
     /// # Errors
-    /// Returns an error in independent-differences mode, which requires the
-    /// full weight vector and therefore cannot be used with dispersed data
-    /// (Section 4, "Computing coordinated sketches").
+    /// As [`RankGenerator::require_dispersable`].
     pub fn dispersed_rank(&self, key: Key, weight: f64, assignment: usize) -> Result<f64> {
+        self.require_dispersable()?;
         match self.mode {
             CoordinationMode::SharedSeed => {
                 Ok(self.family.rank_from_seed(weight, self.seeds.shared_seed(key)))
@@ -139,11 +160,49 @@ impl RankGenerator {
             CoordinationMode::Independent => {
                 Ok(self.family.rank_from_seed(weight, self.seeds.assignment_seed(key, assignment)))
             }
-            CoordinationMode::IndependentDifferences => Err(CwsError::UnsupportedEstimator {
-                estimator: "dispersed_rank",
-                reason: "independent-differences ranks require the full weight vector and are \
-                         not suited for dispersed weights",
-            }),
+            CoordinationMode::IndependentDifferences => unreachable!("rejected above"),
+        }
+    }
+
+    /// Fills `out[i]` with the weight-independent rank numerator of
+    /// `keys[i]` under shared-seed coordination (`rank = out[i] / w` for
+    /// both families, bit-identical to [`RankGenerator::dispersed_rank`];
+    /// see [`RankFamily::rank_base`]).
+    ///
+    /// This is the one shared-seed base kernel of the batched ingestion
+    /// paths — single- and multi-assignment samplers both call it, so the
+    /// bit-exactness contract lives in one place.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn shared_rank_bases_into(&self, keys: &[Key], out: &mut [f64]) {
+        assert_eq!(keys.len(), out.len(), "output lane length mismatch");
+        for (slot, &key) in out.iter_mut().zip(keys) {
+            *slot = self.family.rank_base(self.seeds.shared_seed(key));
+        }
+    }
+
+    /// Fills `out[i]` with the weight-independent rank numerator of the key
+    /// behind `pair_bases[i]` (from [`cws_hash::SeedSequence::
+    /// pair_bases_into`]) under *independent* coordination for one
+    /// assignment — the counterpart of
+    /// [`RankGenerator::shared_rank_bases_into`], completing the hash-once
+    /// fan-out without touching the keys again.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn assignment_rank_bases_into(
+        &self,
+        pair_bases: &[u64],
+        assignment: usize,
+        out: &mut [f64],
+    ) {
+        assert_eq!(pair_bases.len(), out.len(), "output lane length mismatch");
+        for (slot, &pair_base) in out.iter_mut().zip(pair_bases) {
+            *slot =
+                self.family.rank_base(self.seeds.assignment_seed_from_base(pair_base, assignment));
         }
     }
 

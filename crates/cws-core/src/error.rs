@@ -45,6 +45,14 @@ pub enum CwsError {
         /// The size of the relevant assignment set.
         relevant: usize,
     },
+    /// A sharded-ingestion worker thread panicked; the partial summaries are
+    /// unusable and the whole pass must be re-run.
+    ShardWorkerPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CwsError {
@@ -67,6 +75,9 @@ impl fmt::Display for CwsError {
             }
             CwsError::InvalidDependenceOrder { ell, relevant } => {
                 write!(f, "dependence order ell={ell} must lie in 1..={relevant}")
+            }
+            CwsError::ShardWorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker thread panicked: {message}")
             }
         }
     }
@@ -92,6 +103,10 @@ mod tests {
 
         let e = CwsError::InvalidDependenceOrder { ell: 4, relevant: 2 };
         assert!(e.to_string().contains('4'));
+
+        let e = CwsError::ShardWorkerPanicked { shard: 3, message: "boom".into() };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregates;
+pub mod columns;
 pub mod coordination;
 pub mod error;
 pub mod estimate;
@@ -73,6 +74,7 @@ pub mod weights;
 mod paper_examples;
 
 pub use aggregates::{exact_aggregate, AggregateFn};
+pub use columns::RecordColumns;
 pub use coordination::{CoordinationMode, RankGenerator};
 pub use error::{CwsError, Result};
 pub use estimate::adjusted::AdjustedWeights;
@@ -85,6 +87,7 @@ pub use weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::aggregates::{exact_aggregate, AggregateFn};
+    pub use crate::columns::RecordColumns;
     pub use crate::coordination::{CoordinationMode, RankGenerator};
     pub use crate::error::{CwsError, Result};
     pub use crate::estimate::adjusted::AdjustedWeights;

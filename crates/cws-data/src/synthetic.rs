@@ -4,6 +4,7 @@
 //! quickstart example: heavy-tailed weights whose cross-assignment
 //! correlation and churn are directly controllable.
 
+use cws_core::columns::RecordColumns;
 use cws_core::weights::MultiWeighted;
 use cws_hash::RandomSource;
 
@@ -58,6 +59,28 @@ pub fn correlated_zipf(
     builder.build()
 }
 
+/// As [`correlated_zipf`], but emits the stream in structure-of-arrays form
+/// — the format the batched ingestion hot path
+/// ([`cws_core::columns::RecordColumns`]) consumes without conversion.
+///
+/// Implemented as a transpose of [`correlated_zipf`], so record `i` is
+/// bit-identical between the two by construction. (Generation is benchmark
+/// setup, never measured work, so the extra pass is free.)
+///
+/// # Panics
+/// As [`correlated_zipf`].
+#[must_use]
+pub fn correlated_zipf_columns(
+    num_keys: usize,
+    num_assignments: usize,
+    exponent: f64,
+    correlation: f64,
+    churn: f64,
+    seed: u64,
+) -> RecordColumns {
+    correlated_zipf(num_keys, num_assignments, exponent, correlation, churn, seed).to_columns()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +95,20 @@ mod tests {
         assert_eq!(a.num_assignments(), 3);
         let c = correlated_zipf(500, 3, 1.2, 0.8, 0.1, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn columnar_generator_matches_row_generator_bit_for_bit() {
+        let rows = correlated_zipf(400, 3, 1.1, 0.7, 0.15, 0x17_6E57);
+        let columns = correlated_zipf_columns(400, 3, 1.1, 0.7, 0.15, 0x17_6E57);
+        assert_eq!(columns.len(), rows.num_keys());
+        assert_eq!(columns, rows.to_columns());
+        for (index, (key, weights)) in rows.iter().enumerate() {
+            assert_eq!(columns.keys()[index], key);
+            for (b, &w) in weights.iter().enumerate() {
+                assert_eq!(columns.lane(b)[index].to_bits(), w.to_bits());
+            }
+        }
     }
 
     #[test]

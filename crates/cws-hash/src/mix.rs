@@ -89,6 +89,21 @@ impl KeyHasher {
         mix64(mum(base, b ^ 0x9E37_79B9_7F4A_7C15) ^ self.seed)
     }
 
+    /// Pre-mixes a whole slice of first operands for [`KeyHasher::hash_pair`]
+    /// — the columnar form of [`KeyHasher::pair_base`], used by the
+    /// batched multi-assignment rank fan-out to hash every key of a column
+    /// once before deriving all per-assignment values.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn pair_base_batch(&self, keys: &[u64], out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "output lane length mismatch");
+        for (slot, &key) in out.iter_mut().zip(keys) {
+            *slot = key ^ self.seed;
+        }
+    }
+
     /// Hashes an arbitrary byte string.
     #[must_use]
     pub fn hash_bytes(&self, bytes: &[u8]) -> u64 {
@@ -187,6 +202,18 @@ mod tests {
         let h = KeyHasher::new(9);
         assert_ne!(h.hash_pair(1, 2), h.hash_pair(2, 1));
         assert_ne!(h.hash_pair(1, 0), h.hash_u64(1));
+    }
+
+    #[test]
+    fn batch_pair_bases_match_scalar_calls() {
+        let h = KeyHasher::new(77);
+        let keys: Vec<u64> = (0..257u64).map(|k| k.wrapping_mul(0x9E37_79B9)).collect();
+        let mut bases = vec![0u64; keys.len()];
+        h.pair_base_batch(&keys, &mut bases);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(bases[i], h.pair_base(key));
+            assert_eq!(h.hash_pair_from_base(bases[i], 9), h.hash_pair(key, 9));
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 use crate::mix::KeyHasher;
 use crate::uniform::u64_to_open01;
 
+/// Salt of the per-assignment seed stream, mixed into the second pair-hash
+/// operand so assignment seeds are uncorrelated with the shared-seed stream.
+const ASSIGNMENT_SALT: u64 = 0x5851_F42D_4C95_7F2D;
+
 /// Deterministic source of per-key uniform seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedSequence {
@@ -44,7 +48,30 @@ impl SeedSequence {
     #[inline]
     #[must_use]
     pub fn assignment_seed(&self, key: u64, assignment: usize) -> f64 {
-        u64_to_open01(self.hasher.hash_pair(key, 0x5851_F42D_4C95_7F2D ^ assignment as u64))
+        u64_to_open01(self.hasher.hash_pair(key, ASSIGNMENT_SALT ^ assignment as u64))
+    }
+
+    /// Pre-mixes a whole column of keys into pair-hash bases (the columnar
+    /// hash-once step; see [`KeyHasher::pair_base_batch`]). Each base feeds
+    /// [`SeedSequence::assignment_seed_from_base`] for any number of
+    /// assignments without touching the key again.
+    #[inline]
+    pub fn pair_bases_into(&self, keys: &[u64], out: &mut Vec<u64>) {
+        // No clear(): resize alone is a length adjustment (a no-op for the
+        // full chunks of the hot path) and every slot is overwritten below.
+        out.resize(keys.len(), 0);
+        self.hasher.pair_base_batch(keys, out);
+    }
+
+    /// Completes a per-assignment seed from a base prepared by
+    /// [`SeedSequence::pair_bases_into`]; bit-identical to
+    /// [`SeedSequence::assignment_seed`].
+    #[inline]
+    #[must_use]
+    pub fn assignment_seed_from_base(&self, pair_base: u64, assignment: usize) -> f64 {
+        u64_to_open01(
+            self.hasher.hash_pair_from_base(pair_base, ASSIGNMENT_SALT ^ assignment as u64),
+        )
     }
 
     /// An auxiliary per-key stream, indexed by `slot`, independent of both
@@ -110,8 +137,7 @@ impl KeySeeds {
     #[must_use]
     pub fn assignment_seed(&self, assignment: usize) -> f64 {
         u64_to_open01(
-            self.hasher
-                .hash_pair_from_base(self.pair_base, 0x5851_F42D_4C95_7F2D ^ assignment as u64),
+            self.hasher.hash_pair_from_base(self.pair_base, ASSIGNMENT_SALT ^ assignment as u64),
         )
     }
 }
@@ -170,6 +196,24 @@ mod tests {
             for b in 0..16 {
                 assert_eq!(
                     once.assignment_seed(b).to_bits(),
+                    s.assignment_seed(key, b).to_bits(),
+                    "key {key} assignment {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_base_lane_matches_scalar_assignment_seeds() {
+        let s = SeedSequence::new(321);
+        let keys: Vec<u64> = (0..500u64).map(|k| k * 31 + 5).collect();
+        let mut bases = Vec::new();
+        s.pair_bases_into(&keys, &mut bases);
+        assert_eq!(bases.len(), keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            for b in 0..8 {
+                assert_eq!(
+                    s.assignment_seed_from_base(bases[i], b).to_bits(),
                     s.assignment_seed(key, b).to_bits(),
                     "key {key} assignment {b}"
                 );

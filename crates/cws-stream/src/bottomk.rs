@@ -1,11 +1,16 @@
 //! Single-assignment bottom-k stream sampler.
 
-use cws_core::coordination::RankGenerator;
+use cws_core::columns::{invalid_weight_error, validate_weight_lane, weight_is_valid};
+use cws_core::coordination::{CoordinationMode, RankGenerator};
 use cws_core::error::Result;
 use cws_core::sketch::bottomk::BottomKSketch;
 use cws_core::Key;
 
 use crate::candidate::CandidateSet;
+
+/// Records per batch-processing chunk: the rank-base scratch lane stays in
+/// L1 while the pre-filter re-reads it, and the stack frame stays small.
+pub(crate) const COLUMN_CHUNK: usize = 1024;
 
 /// A one-pass, `O(k)`-state bottom-k sampler for a single weight assignment.
 ///
@@ -48,12 +53,66 @@ impl BottomKStreamSampler {
     /// Processes one `(key, weight)` record.
     ///
     /// # Errors
-    /// Returns an error if the generator's coordination mode cannot produce
-    /// dispersed (per-assignment) ranks — i.e. independent-differences ranks.
+    /// Returns an error if the weight is NaN, infinite or negative, or if
+    /// the generator's coordination mode cannot produce dispersed
+    /// (per-assignment) ranks — i.e. independent-differences ranks.
     pub fn push(&mut self, key: Key, weight: f64) -> Result<()> {
+        if !weight_is_valid(weight) {
+            return Err(invalid_weight_error(key, self.assignment, weight));
+        }
         let rank = self.generator.dispersed_rank(key, weight, self.assignment)?;
         self.candidates.offer(key, rank, weight);
         self.processed += 1;
+        Ok(())
+    }
+
+    /// Processes a structure-of-arrays batch: a key column with its weight
+    /// lane. Bit-identical to pushing each `(keys[i], weights[i])` pair
+    /// through [`BottomKStreamSampler::push`], but the per-record loop is
+    /// replaced by chunked column kernels: one pass deriving the
+    /// weight-independent rank numerators (`rank = rank_base(u) / w` for
+    /// both families), then a pre-filter scan that holds the candidate
+    /// threshold in a register and only divides for survivors.
+    ///
+    /// # Errors
+    /// Returns an error on an invalid (NaN/infinite/negative) weight or an
+    /// independent-differences generator. Each chunk of
+    /// [`COLUMN_CHUNK`] records is validated before any of it is offered,
+    /// so on error the sampler still holds a correct sample of every record
+    /// of the preceding chunks and nothing from the failing one; the stream
+    /// should nevertheless be considered poisoned and re-run after repair.
+    ///
+    /// # Panics
+    /// Panics if the column lengths differ.
+    pub fn push_batch(&mut self, keys: &[Key], weights: &[f64]) -> Result<()> {
+        assert_eq!(keys.len(), weights.len(), "key and weight columns must align");
+        // The same error the scalar path reports, built in one place.
+        self.generator.require_dispersable()?;
+        let seeds = self.generator.seed_sequence();
+        let mode = self.generator.mode();
+        let mut bases = [0.0f64; COLUMN_CHUNK];
+        let mut pair_bases = Vec::new();
+        let mut start = 0;
+        while start < keys.len() {
+            let len = COLUMN_CHUNK.min(keys.len() - start);
+            let chunk_keys = &keys[start..start + len];
+            let chunk_weights = &weights[start..start + len];
+            validate_weight_lane(chunk_keys, chunk_weights, self.assignment)?;
+            let bases = &mut bases[..len];
+            match mode {
+                CoordinationMode::SharedSeed => {
+                    self.generator.shared_rank_bases_into(chunk_keys, bases);
+                }
+                CoordinationMode::Independent => {
+                    seeds.pair_bases_into(chunk_keys, &mut pair_bases);
+                    self.generator.assignment_rank_bases_into(&pair_bases, self.assignment, bases);
+                }
+                CoordinationMode::IndependentDifferences => unreachable!("rejected above"),
+            }
+            self.candidates.push_batch_prefiltered(chunk_keys, bases, chunk_weights);
+            self.processed += len as u64;
+            start += len;
+        }
         Ok(())
     }
 
@@ -114,6 +173,72 @@ mod tests {
             backward.push(key, weight).unwrap();
         }
         assert_eq!(forward.finalize(), backward.finalize());
+    }
+
+    #[test]
+    fn batch_push_is_bit_identical_to_scalar_push() {
+        for family in [RankFamily::Ipps, RankFamily::Exp] {
+            for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+                let generator = RankGenerator::new(family, mode, 99).unwrap();
+                let keys: Vec<Key> = (0..3000u64).collect();
+                let weights: Vec<f64> = keys.iter().map(|&k| (k % 23) as f64).collect();
+                let mut scalar = BottomKStreamSampler::new(generator, 1, 40);
+                for (&key, &weight) in keys.iter().zip(&weights) {
+                    scalar.push(key, weight).unwrap();
+                }
+                let mut batched = BottomKStreamSampler::new(generator, 1, 40);
+                batched.push_batch(&keys, &weights).unwrap();
+                assert_eq!(batched.processed(), 3000);
+                let a = scalar.finalize();
+                let b = batched.finalize();
+                assert_eq!(a, b, "{family:?} {mode:?}");
+                assert_eq!(a.next_rank().to_bits(), b.next_rank().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_push_spans_chunk_boundaries() {
+        use crate::bottomk::COLUMN_CHUNK;
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 3).unwrap();
+        let n = COLUMN_CHUNK as u64 * 2 + 17;
+        let keys: Vec<Key> = (0..n).collect();
+        let weights: Vec<f64> = keys.iter().map(|&k| ((k % 11) + 1) as f64).collect();
+        let mut scalar = BottomKStreamSampler::new(generator, 0, 25);
+        for (&key, &weight) in keys.iter().zip(&weights) {
+            scalar.push(key, weight).unwrap();
+        }
+        let mut batched = BottomKStreamSampler::new(generator, 0, 25);
+        batched.push_batch(&keys, &weights).unwrap();
+        assert_eq!(scalar.finalize(), batched.finalize());
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_with_errors() {
+        let generator =
+            RankGenerator::new(RankFamily::Ipps, CoordinationMode::SharedSeed, 2).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
+            let err = sampler.push(9, bad).unwrap_err();
+            assert!(err.to_string().contains("finite and non-negative"), "{err}");
+            assert_eq!(sampler.processed(), 0);
+
+            let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
+            let err = sampler.push_batch(&[1, 2, 9], &[1.0, 2.0, bad]).unwrap_err();
+            assert!(err.to_string().contains("key 9"), "{err}");
+            // The failing chunk was rejected before any offer.
+            assert_eq!(sampler.processed(), 0);
+        }
+    }
+
+    #[test]
+    fn batch_push_rejects_independent_differences() {
+        let generator =
+            RankGenerator::new(RankFamily::Exp, CoordinationMode::IndependentDifferences, 1)
+                .unwrap();
+        let mut sampler = BottomKStreamSampler::new(generator, 0, 5);
+        assert!(sampler.push_batch(&[1], &[2.0]).is_err());
     }
 
     #[test]

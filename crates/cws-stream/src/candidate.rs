@@ -209,6 +209,41 @@ impl CandidateSet {
         }
     }
 
+    /// Offers a whole column of factored ranks: record `i` has rank
+    /// `bases[i] / weights[i]` (both rank families factor this way; see
+    /// [`cws_core::ranks::RankFamily::rank_base`]).
+    ///
+    /// This is the structure-of-arrays hot loop: the inflated threshold is
+    /// held in a register for the whole scan instead of being re-loaded per
+    /// record, so the common case — a record that cannot enter the sample —
+    /// costs two contiguous lane loads, one multiply and one compare. Only
+    /// survivors of the pre-filter divide and fall into [`CandidateSet::
+    /// offer`], whose exact `(rank, key)` comparison keeps the set
+    /// bit-identical to per-record offers in any order; the register is
+    /// refreshed after each offer, the only operation that can change it.
+    ///
+    /// Invalid weights never corrupt the set (negative weights fail the
+    /// pre-filter because `base > 0`; NaN and `±∞` produce non-finite ranks
+    /// that `offer` rejects) — callers validate lanes separately to turn
+    /// them into errors.
+    pub(crate) fn push_batch_prefiltered(&mut self, keys: &[Key], bases: &[f64], weights: &[f64]) {
+        debug_assert_eq!(keys.len(), bases.len());
+        debug_assert_eq!(keys.len(), weights.len());
+        let mut threshold = self.inflated;
+        for ((&key, &base), &weight) in keys.iter().zip(bases).zip(weights) {
+            // Certain rejection without dividing; see `inflated_threshold`
+            // for why this is exact. `base > 0`, so zero and negative
+            // weights land on the reject side too (directly, or as a
+            // non-finite rank in `offer`), matching `rank_from_seed`'s
+            // `+∞` convention.
+            if base > weight * threshold {
+                continue;
+            }
+            self.offer(key, base / weight, weight);
+            threshold = self.inflated;
+        }
+    }
+
     /// Whether `key` is currently a candidate (a linear scan over the flat
     /// array; for bulk membership tests collect [`CandidateSet::keys`] into
     /// a set instead).
@@ -317,6 +352,30 @@ mod tests {
             BottomKSketch::from_ranked(1, vec![(5, 0.3, 1.0), (9, 0.3, 1.0), (2, 0.3, 1.0)]);
         assert_eq!(streamed, offline);
         assert_eq!(streamed.entries()[0].key, 2);
+    }
+
+    #[test]
+    fn batch_prefilter_matches_per_record_offers() {
+        // Factored ranks base/weight fed through the batch pre-filter must
+        // finalize identically to per-record offers, including duplicates,
+        // zero weights and threshold churn near k.
+        let n = 200u64;
+        let keys: Vec<Key> = (0..n).chain(0..n / 4).collect(); // duplicates
+        let bases: Vec<f64> =
+            keys.iter().map(|&k| ((k * 2654435761) % 997) as f64 / 997.0 + 1e-3).collect();
+        let weights: Vec<f64> = keys.iter().map(|&k| (k % 9) as f64).collect(); // zeros too
+        for k in [1usize, 7, 31] {
+            let mut batched = CandidateSet::new(k);
+            batched.push_batch_prefiltered(&keys, &bases, &weights);
+            // Reference: every record goes through the exact offer path (no
+            // pre-filter at all) — proves the pre-filter only ever skips
+            // offers that would have been rejected.
+            let mut scalar = CandidateSet::new(k);
+            for i in 0..keys.len() {
+                scalar.offer(keys[i], bases[i] / weights[i], weights[i]);
+            }
+            assert_eq!(batched.into_sketch(), scalar.into_sketch(), "k={k}");
+        }
     }
 
     #[test]

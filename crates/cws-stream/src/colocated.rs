@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
+use cws_core::columns::{first_invalid_weight, invalid_weight_error, RecordColumns};
 use cws_core::coordination::RankGenerator;
 use cws_core::summary::{ColocatedRecord, ColocatedSummary, SummaryConfig};
-use cws_core::Key;
+use cws_core::{Key, Result};
 
 use crate::candidate::CandidateSet;
 
@@ -26,6 +27,8 @@ pub struct ColocatedStreamSampler {
     /// Reusable rank buffer so the hot path performs no per-record
     /// allocation.
     ranks: Vec<f64>,
+    /// Reusable row buffer for the columnar push path.
+    row: Vec<f64>,
     processed: u64,
     compaction_threshold: usize,
 }
@@ -47,6 +50,7 @@ impl ColocatedStreamSampler {
             candidates,
             vectors: HashMap::new(),
             ranks: Vec::with_capacity(num_assignments),
+            row: Vec::with_capacity(num_assignments),
             processed: 0,
             compaction_threshold,
         }
@@ -73,10 +77,17 @@ impl ColocatedStreamSampler {
 
     /// Processes one record: a key together with its full weight vector.
     ///
+    /// # Errors
+    /// Returns an error if any weight is NaN, infinite or negative; the
+    /// record is rejected whole.
+    ///
     /// # Panics
     /// Panics if the vector length differs from the number of assignments.
-    pub fn push(&mut self, key: Key, weights: &[f64]) {
+    pub fn push(&mut self, key: Key, weights: &[f64]) -> Result<()> {
         assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        if let Some(assignment) = first_invalid_weight(weights) {
+            return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
         self.generator.rank_vector_into(key, weights, &mut self.ranks);
         let mut candidate_anywhere = false;
         for (b, (&rank, &weight)) in self.ranks.iter().zip(weights).enumerate() {
@@ -89,6 +100,36 @@ impl ColocatedStreamSampler {
         if self.vectors.len() > self.compaction_threshold {
             self.compact();
         }
+        Ok(())
+    }
+
+    /// Processes a structure-of-arrays batch.
+    ///
+    /// The colocated summary must retain the full weight vector of every
+    /// candidate key, so records are re-materialized as rows through a
+    /// reused scratch buffer; the batch form exists so columnar producers
+    /// (generators, the sharded pipeline's data layer) can feed this
+    /// sampler without building their own row views.
+    ///
+    /// # Errors
+    /// As [`ColocatedStreamSampler::push`]; records before the offending
+    /// one were ingested.
+    ///
+    /// # Panics
+    /// Panics if the batch's assignment count differs from the sampler's.
+    pub fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        assert_eq!(columns.num_assignments(), self.num_assignments, "weight vector arity mismatch");
+        let mut row = std::mem::take(&mut self.row);
+        let mut result = Ok(());
+        for (index, &key) in columns.keys().iter().enumerate() {
+            columns.copy_row_into(index, &mut row);
+            result = self.push(key, &row);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.row = row;
+        result
     }
 
     /// Drops weight vectors of keys that are no longer candidates anywhere.
@@ -161,7 +202,7 @@ mod tests {
             let config = SummaryConfig::new(25, family, mode, 99);
             let mut sampler = ColocatedStreamSampler::new(config, 3);
             for (key, weights) in data.iter() {
-                sampler.push(key, weights);
+                sampler.push(key, weights).unwrap();
             }
             assert_eq!(sampler.processed(), 700);
             let streamed = sampler.finalize();
@@ -192,7 +233,7 @@ mod tests {
             rb.total_cmp(&ra)
         });
         for (key, weights) in &keyed {
-            sampler.push(*key, weights);
+            sampler.push(*key, weights).unwrap();
         }
         assert!(
             sampler.retained_vectors() <= 4 * 11 * 2 + 65,
@@ -208,6 +249,30 @@ mod tests {
     fn wrong_arity_is_rejected() {
         let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
         let mut sampler = ColocatedStreamSampler::new(config, 3);
-        sampler.push(1, &[1.0, 2.0]);
+        let _ = sampler.push(1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_columns_matches_per_record_push() {
+        let data = fixture();
+        let config = SummaryConfig::new(20, RankFamily::Ipps, CoordinationMode::SharedSeed, 11);
+        let mut scalar = ColocatedStreamSampler::new(config, 3);
+        for (key, weights) in data.iter() {
+            scalar.push(key, weights).unwrap();
+        }
+        let mut columnar = ColocatedStreamSampler::new(config, 3);
+        columnar.push_columns(&data.to_columns()).unwrap();
+        assert_eq!(columnar.processed(), 700);
+        assert_eq!(scalar.finalize(), columnar.finalize());
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_with_errors() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut sampler = ColocatedStreamSampler::new(config, 2);
+            assert!(sampler.push(1, &[bad, 1.0]).is_err());
+            assert_eq!(sampler.processed(), 0);
+        }
     }
 }

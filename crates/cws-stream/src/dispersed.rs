@@ -49,7 +49,9 @@ impl DispersedStreamSampler {
     /// Routes one `(assignment, key, weight)` record to its sampler.
     ///
     /// # Errors
-    /// Returns an error if `assignment` is out of range.
+    /// Returns an error if `assignment` is out of range or the weight is
+    /// NaN, infinite or negative (validated by the underlying
+    /// [`BottomKStreamSampler::push`]).
     pub fn push(&mut self, assignment: usize, key: Key, weight: f64) -> Result<()> {
         let available = self.samplers.len();
         let sampler = self

@@ -17,9 +17,11 @@
 //! **bit-identical** to the one produced by `DispersedStreamSampler` (and by
 //! the offline builder) over the same data.
 
+use cws_core::columns::{first_invalid_weight, invalid_weight_error, RecordColumns};
 use cws_core::summary::{DispersedSummary, SummaryConfig};
-use cws_core::{CoordinationMode, Key, RankGenerator};
+use cws_core::{CoordinationMode, Key, RankGenerator, Result};
 
+use crate::bottomk::COLUMN_CHUNK;
 use crate::candidate::CandidateSet;
 
 /// A one-pass, hash-once sampler for streams of `(key, weight-vector)`
@@ -87,20 +89,26 @@ impl MultiAssignmentStreamSampler {
     /// with the exact same floating-point operations as
     /// [`RankGenerator::dispersed_rank`], keeping the sample bit-identical.
     ///
+    /// # Errors
+    /// Returns an error if any weight is NaN, infinite or negative; the
+    /// record is rejected whole (no assignment sees any part of it).
+    ///
     /// # Panics
     /// Panics if the vector length differs from the number of assignments.
     #[inline]
-    pub fn push_record(&mut self, key: Key, weights: &[f64]) {
+    pub fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
         assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        if let Some(assignment) = first_invalid_weight(weights) {
+            return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
         if self.generator.mode() == CoordinationMode::SharedSeed {
             let base = self.generator.family().rank_base(self.generator.shared_seed(key));
             for (set, &weight) in self.candidates.iter_mut().zip(weights) {
-                debug_assert!(weight >= 0.0, "weight must be non-negative");
                 // Certain rejection without dividing; see
                 // `CandidateSet::inflated_threshold` for why this is exact.
-                // Since `base > 0`, non-positive weights also land on the
-                // reject side (directly, or as a non-finite rank in
-                // `offer`), matching `rank_from_seed`'s `+∞` convention.
+                // Since `base > 0`, zero weights also land on the reject
+                // side (directly, or as a non-finite rank in `offer`),
+                // matching `rank_from_seed`'s `+∞` convention.
                 if base > weight * set.inflated_threshold() {
                     continue;
                 }
@@ -115,25 +123,107 @@ impl MultiAssignmentStreamSampler {
             }
         }
         self.processed += 1;
+        Ok(())
     }
 
-    /// Processes a batch of records.
+    /// Processes a batch of row-major records.
     ///
-    /// Today this simply delegates to
-    /// [`MultiAssignmentStreamSampler::push_record`] — it exists so callers
-    /// (and the sharded engine) hand records over at batch granularity,
-    /// letting future batch-level optimizations (structure-of-arrays rank
-    /// fan-out; see ROADMAP) land without an interface change.
+    /// This is the record-at-a-time convenience route; the
+    /// structure-of-arrays fast path is
+    /// [`MultiAssignmentStreamSampler::push_columns`].
+    ///
+    /// # Errors
+    /// As [`MultiAssignmentStreamSampler::push_record`]; records before the
+    /// offending one were ingested.
     ///
     /// # Panics
     /// Panics if any vector length differs from the number of assignments.
-    pub fn push_batch<'a, I>(&mut self, records: I)
+    pub fn push_batch<'a, I>(&mut self, records: I) -> Result<()>
     where
         I: IntoIterator<Item = (Key, &'a [f64])>,
     {
         for (key, weights) in records {
-            self.push_record(key, weights);
+            self.push_record(key, weights)?;
         }
+        Ok(())
+    }
+
+    /// Processes a structure-of-arrays batch — the ingestion fast path.
+    ///
+    /// Bit-identical to feeding each record through
+    /// [`MultiAssignmentStreamSampler::push_record`]: within one assignment
+    /// the candidate set sees the exact same offers in the exact same order,
+    /// and assignments never interact. The work is organized as column
+    /// kernels over [`COLUMN_CHUNK`]-record chunks:
+    ///
+    /// 1. validate the chunk's weight lanes (one branch-free reduction per
+    ///    lane, while the lane is about to be hot anyway);
+    /// 2. hash the chunk's keys once into a rank-numerator scratch lane
+    ///    (shared-seed mode) or a pair-base lane fanned out per assignment
+    ///    (independent mode);
+    /// 3. per assignment, run [`CandidateSet`]'s pre-filter scan over the
+    ///    contiguous weight lane with the threshold held in a register.
+    ///
+    /// # Errors
+    /// Returns an error on a NaN, infinite or negative weight. Chunks are
+    /// validated before any of their records are offered, so on error the
+    /// sampler holds a correct sample of all preceding chunks and nothing
+    /// of the failing one; treat the stream as poisoned and re-run it after
+    /// repair.
+    ///
+    /// # Panics
+    /// Panics if the batch's assignment count differs from the sampler's.
+    pub fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        self.push_columns_inner(columns, true)
+    }
+
+    /// [`MultiAssignmentStreamSampler::push_columns`] minus the weight
+    /// validation — for the sharded engine, whose producer side already
+    /// validated the batch before handing it across the thread boundary.
+    pub(crate) fn push_columns_trusted(&mut self, columns: &RecordColumns) {
+        self.push_columns_inner(columns, false).expect("pre-validated columns cannot fail");
+    }
+
+    fn push_columns_inner(&mut self, columns: &RecordColumns, validate: bool) -> Result<()> {
+        assert_eq!(columns.num_assignments(), self.num_assignments, "weight vector arity mismatch");
+        let keys = columns.keys();
+        let seeds = self.generator.seed_sequence();
+        let shared = self.generator.mode() == CoordinationMode::SharedSeed;
+        debug_assert!(
+            shared || self.generator.mode() == CoordinationMode::Independent,
+            "constructor rejects independent-differences"
+        );
+        let mut bases = [0.0f64; COLUMN_CHUNK];
+        let mut pair_bases = Vec::new();
+        let mut start = 0;
+        while start < keys.len() {
+            let len = COLUMN_CHUNK.min(keys.len() - start);
+            let chunk_keys = &keys[start..start + len];
+            if validate {
+                columns.validate_span(start, len)?;
+            }
+            let bases = &mut bases[..len];
+            if shared {
+                // One hash per key, one numerator lane for every assignment.
+                self.generator.shared_rank_bases_into(chunk_keys, bases);
+                for (assignment, set) in self.candidates.iter_mut().enumerate() {
+                    let lane = &columns.lane(assignment)[start..start + len];
+                    set.push_batch_prefiltered(chunk_keys, bases, lane);
+                }
+            } else {
+                // Hash once into pair bases; each assignment finishes its
+                // own numerator lane from the pre-mixed state.
+                seeds.pair_bases_into(chunk_keys, &mut pair_bases);
+                for (assignment, set) in self.candidates.iter_mut().enumerate() {
+                    self.generator.assignment_rank_bases_into(&pair_bases, assignment, bases);
+                    let lane = &columns.lane(assignment)[start..start + len];
+                    set.push_batch_prefiltered(chunk_keys, bases, lane);
+                }
+            }
+            self.processed += len as u64;
+            start += len;
+        }
+        Ok(())
     }
 
     /// Whether `key` is currently among the candidates of `assignment`.
@@ -179,7 +269,7 @@ mod tests {
                 let mut once = MultiAssignmentStreamSampler::new(config, 4);
                 let mut per = DispersedStreamSampler::new(config, 4);
                 for (key, weights) in data.iter() {
-                    once.push_record(key, weights);
+                    once.push_record(key, weights).unwrap();
                     for (b, &w) in weights.iter().enumerate() {
                         per.push(b, key, w).unwrap();
                     }
@@ -200,8 +290,43 @@ mod tests {
         let data = fixture(3);
         let config = SummaryConfig::new(25, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
         let mut sampler = MultiAssignmentStreamSampler::new(config, 3);
-        sampler.push_batch(data.iter());
+        sampler.push_batch(data.iter()).unwrap();
         assert_eq!(sampler.finalize(), DispersedSummary::build(&data, &config));
+    }
+
+    #[test]
+    fn push_columns_is_bit_identical_to_push_record() {
+        for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+            for family in [RankFamily::Ipps, RankFamily::Exp] {
+                let data = fixture(4);
+                let config = SummaryConfig::new(32, family, mode, 2024);
+                let mut scalar = MultiAssignmentStreamSampler::new(config, 4);
+                scalar.push_batch(data.iter()).unwrap();
+                let mut columnar = MultiAssignmentStreamSampler::new(config, 4);
+                columnar.push_columns(&data.to_columns()).unwrap();
+                assert_eq!(columnar.processed(), 900);
+                assert_eq!(scalar.finalize(), columnar.finalize(), "{family:?} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_with_errors() {
+        let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 4);
+        for bad in [f64::NAN, f64::INFINITY, -2.5] {
+            let mut sampler = MultiAssignmentStreamSampler::new(config, 2);
+            let err = sampler.push_record(3, &[1.0, bad]).unwrap_err();
+            assert!(err.to_string().contains("assignment 1"), "{err}");
+            assert_eq!(sampler.processed(), 0, "rejected record must not count");
+
+            let mut columns = cws_core::RecordColumns::new(2);
+            columns.push(1, &[1.0, 1.0]);
+            columns.push(3, &[bad, 2.0]);
+            let mut sampler = MultiAssignmentStreamSampler::new(config, 2);
+            let err = sampler.push_columns(&columns).unwrap_err();
+            assert!(err.to_string().contains("key 3"), "{err}");
+            assert_eq!(sampler.processed(), 0, "failing chunk is rejected whole");
+        }
     }
 
     #[test]
@@ -209,7 +334,7 @@ mod tests {
         let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 3);
         let mut sampler = MultiAssignmentStreamSampler::new(config, 2);
         for key in 0..200u64 {
-            sampler.push_record(key, &[(key % 7 + 1) as f64, (key % 3 + 1) as f64]);
+            sampler.push_record(key, &[(key % 7 + 1) as f64, (key % 3 + 1) as f64]).unwrap();
         }
         let candidates = (0..200u64).filter(|&k| sampler.is_candidate(k, 0)).count();
         assert_eq!(candidates, 6); // k + 1
@@ -221,7 +346,7 @@ mod tests {
     fn wrong_arity_is_rejected() {
         let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
         let mut sampler = MultiAssignmentStreamSampler::new(config, 3);
-        sampler.push_record(1, &[1.0]);
+        let _ = sampler.push_record(1, &[1.0]);
     }
 
     #[test]

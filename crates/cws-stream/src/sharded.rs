@@ -11,22 +11,46 @@
 //!
 //! # Parity guarantee
 //!
-//! For any shard count, batch size and arrival order, the finalized
-//! [`DispersedSummary`] is **bit-identical** (ranks, weights, `r_{k+1}`
-//! tails and all) to the one produced by a single sequential
+//! For any shard count, batch size, ingestion API and arrival order, the
+//! finalized [`DispersedSummary`] is **bit-identical** (ranks, weights,
+//! `r_{k+1}` tails and all) to the one produced by a single sequential
 //! [`MultiAssignmentStreamSampler`] over the same records — sharding is an
 //! execution strategy, not an approximation. The integration suite asserts
 //! this across rank families, coordination modes and shard counts.
 //!
-//! Records travel shard-ward in flat, cache-friendly batches (a key column
-//! plus a row-major weight column) so the cross-thread traffic is one
-//! channel send per `batch_capacity` records, not per record.
+//! # Zero-copy handoff
+//!
+//! Records cross the thread boundary as structure-of-arrays
+//! [`RecordColumns`] batches, never record by record:
+//!
+//! * [`push_columns_shared`](ShardedDispersedSampler::push_columns_shared)
+//!   forwards a whole `Arc<RecordColumns>` batch to a single shard's worker
+//!   without touching a byte of it — the true zero-copy path, and the reason
+//!   one-shard sharding now runs at the unsharded rate.
+//! * With multiple shards, batches are partitioned lane-by-lane into
+//!   per-shard column buffers drawn from an **allocate-once pool**: each
+//!   worker returns processed buffers through a second (return) channel, so
+//!   steady-state ingestion allocates nothing and backpressure is the pool
+//!   running dry.
+//! * The per-shard consumer runs the same chunked pre-filter kernels as the
+//!   unsharded [`MultiAssignmentStreamSampler::push_columns`] — lanes arrive
+//!   contiguous, so sharding adds routing, not a different inner loop.
+//!
+//! # Failure handling
+//!
+//! A panicking worker is detected, never waited on forever: sends to a dead
+//! shard fail softly, and [`finalize`](ShardedDispersedSampler::finalize)
+//! joins every worker and reports the first panic as
+//! [`CwsError::ShardWorkerPanicked`] instead of hanging or propagating a
+//! poisoned join.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 
+use cws_core::columns::{first_invalid_weight, invalid_weight_error, RecordColumns};
 use cws_core::summary::{DispersedSummary, SummaryConfig};
-use cws_core::Key;
+use cws_core::{CwsError, Key, Result};
 use cws_hash::KeyHasher;
 
 use crate::merge::merge_disjoint_summaries;
@@ -36,61 +60,59 @@ use crate::multi::MultiAssignmentStreamSampler;
 /// master seed yet uncorrelated with the rank hashes.
 const ROUTER_STREAM: u64 = 0x5AAD_EDC0_DE00_0002;
 
-/// A flat batch of `(key, weight-vector)` records: one contiguous key column
-/// and one row-major weight column. One allocation pair per batch, regardless
-/// of record count.
-#[derive(Debug)]
-struct RecordBatch {
-    num_assignments: usize,
-    keys: Vec<Key>,
-    weights: Vec<f64>,
+/// What travels to a shard worker.
+enum ShardMessage {
+    /// A pooled buffer, returned through the recycle channel after
+    /// processing.
+    Pooled(RecordColumns),
+    /// A shared batch forwarded zero-copy (single-shard fast path).
+    Shared(Arc<RecordColumns>),
+    /// Test hook: makes the worker panic, exercising the failure path.
+    InjectPanic,
 }
 
-impl RecordBatch {
-    fn with_capacity(num_assignments: usize, records: usize) -> Self {
-        Self {
-            num_assignments,
-            keys: Vec::with_capacity(records),
-            weights: Vec::with_capacity(records * num_assignments),
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, key: Key, weights: &[f64]) {
-        debug_assert_eq!(weights.len(), self.num_assignments);
-        self.keys.push(key);
-        self.weights.extend_from_slice(weights);
-    }
-
-    fn len(&self) -> usize {
-        self.keys.len()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.keys.is_empty()
-    }
-
-    fn iter(&self) -> impl Iterator<Item = (Key, &[f64])> {
-        self.keys.iter().copied().zip(self.weights.chunks_exact(self.num_assignments))
-    }
+/// Producer-side state of one shard: the batch channel, the filling buffer
+/// and the allocate-once recycling pool.
+struct ShardLane {
+    sender: mpsc::SyncSender<ShardMessage>,
+    recycled: mpsc::Receiver<RecordColumns>,
+    /// Buffers ready to be filled. Refilled from `recycled`; only drained
+    /// to zero when the worker is slower than the producer, in which case
+    /// the blocking refill is the backpressure.
+    pool: Vec<RecordColumns>,
+    filling: RecordColumns,
+    /// Set when the worker hung up (panicked or errored); further traffic
+    /// to this shard is dropped and `finalize` reports the cause.
+    dead: bool,
 }
 
 /// Multi-assignment ingestion parallelized over `N` key shards.
 ///
 /// Construct with [`ShardedDispersedSampler::new`], feed records with
-/// [`push_record`](ShardedDispersedSampler::push_record), and call
-/// [`finalize`](ShardedDispersedSampler::finalize) to join the workers and
-/// merge their summaries. The result is bit-identical to sequential
-/// ingestion (see the module docs).
-#[derive(Debug)]
+/// [`push_record`](ShardedDispersedSampler::push_record) /
+/// [`push_columns`](ShardedDispersedSampler::push_columns) /
+/// [`push_columns_shared`](ShardedDispersedSampler::push_columns_shared),
+/// and call [`finalize`](ShardedDispersedSampler::finalize) to join the
+/// workers and merge their summaries. The result is bit-identical to
+/// sequential ingestion (see the module docs).
 pub struct ShardedDispersedSampler {
     num_assignments: usize,
     router: KeyHasher,
     batch_capacity: usize,
-    buffers: Vec<RecordBatch>,
-    senders: Vec<mpsc::SyncSender<RecordBatch>>,
-    workers: Vec<thread::JoinHandle<DispersedSummary>>,
+    lanes: Vec<ShardLane>,
+    workers: Vec<thread::JoinHandle<Result<DispersedSummary>>>,
     processed: u64,
+}
+
+impl std::fmt::Debug for ShardedDispersedSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDispersedSampler")
+            .field("num_assignments", &self.num_assignments)
+            .field("num_shards", &self.workers.len())
+            .field("batch_capacity", &self.batch_capacity)
+            .field("processed", &self.processed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ShardedDispersedSampler {
@@ -129,37 +151,64 @@ impl ShardedDispersedSampler {
         assert!(num_shards > 0, "at least one shard is required");
         assert!(batch_capacity > 0, "batch capacity must be positive");
         // Validate eagerly on the calling thread: the same construction runs
-        // inside every worker, and a panic there would only surface later as
-        // an opaque "shard worker terminated" at push or finalize time.
+        // inside every worker, and a panic there would only surface later at
+        // finalize time.
         assert!(num_assignments > 0, "at least one assignment is required");
         assert!(
             config.mode != cws_core::CoordinationMode::IndependentDifferences,
             "independent-differences ranks are not suited for dispersed weights"
         );
-        let mut senders = Vec::with_capacity(num_shards);
+        let mut lanes = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
         for _ in 0..num_shards {
-            let (sender, receiver) = mpsc::sync_channel::<RecordBatch>(Self::CHANNEL_DEPTH);
-            workers.push(thread::spawn(move || {
+            let (sender, receiver) = mpsc::sync_channel::<ShardMessage>(Self::CHANNEL_DEPTH);
+            let (recycle_sender, recycled) = mpsc::channel::<RecordColumns>();
+            workers.push(thread::spawn(move || -> Result<DispersedSummary> {
                 // Constructed inside the worker so the candidate arrays are
                 // allocated (first-touched) on the thread that uses them.
                 let mut sampler = MultiAssignmentStreamSampler::new(config, num_assignments);
-                while let Ok(batch) = receiver.recv() {
-                    sampler.push_batch(batch.iter());
+                while let Ok(message) = receiver.recv() {
+                    match message {
+                        ShardMessage::Pooled(mut columns) => {
+                            sampler.push_columns_trusted(&columns);
+                            columns.clear();
+                            // The producer may already have hung up during
+                            // finalize; a failed return just retires the
+                            // buffer.
+                            let _ = recycle_sender.send(columns);
+                        }
+                        // Shared batches skip producer-side validation
+                        // (zero-copy means the producer never reads them);
+                        // validate here and carry the typed error to
+                        // `finalize` — returning also hangs up the channel,
+                        // so the producer's sends fail softly from then on.
+                        ShardMessage::Shared(columns) => sampler.push_columns(&columns)?,
+                        ShardMessage::InjectPanic => {
+                            panic!("injected shard-worker panic (test hook)")
+                        }
+                    }
                 }
-                sampler.finalize()
+                Ok(sampler.finalize())
             }));
-            senders.push(sender);
+            // The allocate-once pool: every buffer this shard will ever use.
+            // `CHANNEL_DEPTH + 1` covers a full channel plus the buffer in
+            // flight back through the recycle channel.
+            let pool = (0..=Self::CHANNEL_DEPTH)
+                .map(|_| RecordColumns::with_capacity(num_assignments, batch_capacity))
+                .collect();
+            lanes.push(ShardLane {
+                sender,
+                recycled,
+                pool,
+                filling: RecordColumns::with_capacity(num_assignments, batch_capacity),
+                dead: false,
+            });
         }
-        let buffers = (0..num_shards)
-            .map(|_| RecordBatch::with_capacity(num_assignments, batch_capacity))
-            .collect();
         Self {
             num_assignments,
             router: KeyHasher::new(config.seed).derive(ROUTER_STREAM),
             batch_capacity,
-            buffers,
-            senders,
+            lanes,
             workers,
             processed: 0,
         }
@@ -194,64 +243,216 @@ impl ShardedDispersedSampler {
     /// Routes one record to its shard, flushing that shard's batch to the
     /// worker when full.
     ///
+    /// # Errors
+    /// Returns an error if any weight is NaN, infinite or negative (the
+    /// record is rejected whole).
+    ///
     /// # Panics
-    /// Panics if the vector length differs from the number of assignments,
-    /// or if a worker thread has died.
+    /// Panics if the vector length differs from the number of assignments.
     #[inline]
-    pub fn push_record(&mut self, key: Key, weights: &[f64]) {
+    pub fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
         assert_eq!(weights.len(), self.num_assignments, "weight vector arity mismatch");
+        if let Some(assignment) = first_invalid_weight(weights) {
+            return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
         let shard = self.shard_of(key);
-        self.buffers[shard].push(key, weights);
+        self.lanes[shard].filling.push(key, weights);
         self.processed += 1;
-        if self.buffers[shard].len() >= self.batch_capacity {
+        if self.lanes[shard].filling.len() >= self.batch_capacity {
             self.flush_shard(shard);
         }
+        Ok(())
     }
 
-    /// Routes a batch of records.
+    /// Routes a batch of row-major records.
+    ///
+    /// # Errors
+    /// As [`ShardedDispersedSampler::push_record`]; records before the
+    /// offending one were ingested.
     ///
     /// # Panics
     /// As [`ShardedDispersedSampler::push_record`].
-    pub fn push_batch<'a, I>(&mut self, records: I)
+    pub fn push_batch<'a, I>(&mut self, records: I) -> Result<()>
     where
         I: IntoIterator<Item = (Key, &'a [f64])>,
     {
         for (key, weights) in records {
-            self.push_record(key, weights);
+            self.push_record(key, weights)?;
+        }
+        Ok(())
+    }
+
+    /// Routes a structure-of-arrays batch, partitioning its columns into the
+    /// per-shard buffers in chunked lane passes (single-shard streams skip
+    /// routing entirely and bulk-copy whole lanes).
+    ///
+    /// # Errors
+    /// Returns an error on a NaN, infinite or negative weight. Chunks of
+    /// [`COLUMN_CHUNK`](crate::bottomk::COLUMN_CHUNK) records are validated
+    /// before being partitioned, so nothing of the failing chunk reaches a
+    /// worker.
+    ///
+    /// # Panics
+    /// Panics if the batch's assignment count differs from the sampler's.
+    pub fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        assert_eq!(columns.num_assignments(), self.num_assignments, "weight vector arity mismatch");
+        let mut start = 0;
+        while start < columns.len() {
+            let len = crate::bottomk::COLUMN_CHUNK.min(columns.len() - start);
+            columns.validate_span(start, len)?;
+            self.partition_chunk(columns, start, len);
+            self.processed += len as u64;
+            start += len;
+        }
+        Ok(())
+    }
+
+    /// Hands a shared batch to the engine. With a **single shard** the
+    /// `Arc` itself is forwarded to the worker — no weight or key is copied
+    /// on the producer side, which is what closes the gap between sharded
+    /// ×1 and unsharded ingestion. With multiple shards this is
+    /// [`push_columns`](ShardedDispersedSampler::push_columns) on the
+    /// shared batch (partitioning is inherent to routing).
+    ///
+    /// # Errors
+    /// In the multi-shard case, as
+    /// [`push_columns`](ShardedDispersedSampler::push_columns). On the
+    /// single-shard zero-copy path the batch is validated by the worker, so
+    /// an invalid weight surfaces as the same typed error from
+    /// [`finalize`](ShardedDispersedSampler::finalize) instead of an error
+    /// here.
+    ///
+    /// # Panics
+    /// Panics if the batch's assignment count differs from the sampler's.
+    pub fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        if self.workers.len() > 1 {
+            return self.push_columns(columns);
+        }
+        assert_eq!(columns.num_assignments(), self.num_assignments, "weight vector arity mismatch");
+        // Preserve arrival order relative to any previously buffered
+        // records (not required for correctness — the sample is
+        // order-independent — but it keeps `processed` honest per worker).
+        self.flush_shard(0);
+        self.processed += columns.len() as u64;
+        let lane = &mut self.lanes[0];
+        if !lane.dead && lane.sender.send(ShardMessage::Shared(Arc::clone(columns))).is_err() {
+            lane.dead = true;
+        }
+        Ok(())
+    }
+
+    /// Scatters one validated chunk into the per-shard column buffers.
+    fn partition_chunk(&mut self, columns: &RecordColumns, start: usize, len: usize) {
+        if self.workers.len() == 1 {
+            // No routing decision to make: bulk-copy whole lane spans into
+            // the filling buffer (a per-lane memcpy).
+            let mut copied = 0;
+            while copied < len {
+                let room = self.batch_capacity.saturating_sub(self.lanes[0].filling.len()).max(1);
+                let take = room.min(len - copied);
+                self.lanes[0].filling.extend_from(columns, start + copied, take);
+                copied += take;
+                if self.lanes[0].filling.len() >= self.batch_capacity {
+                    self.flush_shard(0);
+                }
+            }
+            return;
+        }
+        for index in start..start + len {
+            let shard = self.shard_of(columns.keys()[index]);
+            self.lanes[shard].filling.push_row_from(columns, index);
+            if self.lanes[shard].filling.len() >= self.batch_capacity {
+                self.flush_shard(shard);
+            }
         }
     }
 
+    /// Sends the shard's filling buffer to its worker and replaces it with a
+    /// recycled one from the pool (blocking on the return channel — the
+    /// backpressure path — only when the pool is dry).
     fn flush_shard(&mut self, shard: usize) {
-        if self.buffers[shard].is_empty() {
+        let lane = &mut self.lanes[shard];
+        if lane.filling.is_empty() {
             return;
         }
-        let full = std::mem::replace(
-            &mut self.buffers[shard],
-            RecordBatch::with_capacity(self.num_assignments, self.batch_capacity),
-        );
-        self.senders[shard].send(full).expect("shard worker terminated unexpectedly");
+        if lane.dead {
+            // The worker is gone; finalize will report why. Recycle in
+            // place so pushes stay cheap until then.
+            lane.filling.clear();
+            return;
+        }
+        // Drain opportunistic returns first so the pool stays warm.
+        while let Ok(buffer) = lane.recycled.try_recv() {
+            lane.pool.push(buffer);
+        }
+        let replacement = match lane.pool.pop() {
+            Some(buffer) => buffer,
+            None => match lane.recycled.recv() {
+                Ok(buffer) => buffer,
+                Err(_) => {
+                    // Worker died without returning buffers.
+                    lane.dead = true;
+                    lane.filling.clear();
+                    return;
+                }
+            },
+        };
+        let full = std::mem::replace(&mut lane.filling, replacement);
+        if lane.sender.send(ShardMessage::Pooled(full)).is_err() {
+            lane.dead = true;
+        }
+    }
+
+    /// Test hook: makes the worker of `shard` panic on its next message, so
+    /// the failure path (no hang, an error from `finalize`) can be
+    /// exercised deterministically.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&mut self, shard: usize) {
+        let lane = &mut self.lanes[shard];
+        if lane.sender.send(ShardMessage::InjectPanic).is_err() {
+            lane.dead = true;
+        }
     }
 
     /// Flushes the remaining buffers, joins all workers and merges the
     /// per-shard summaries into the summary of the full stream.
     ///
-    /// # Panics
-    /// Panics if a worker thread panicked.
-    #[must_use]
-    pub fn finalize(mut self) -> DispersedSummary {
-        for shard in 0..self.buffers.len() {
+    /// # Errors
+    /// Returns [`CwsError::ShardWorkerPanicked`] if any worker thread
+    /// panicked, or the worker's own typed error (e.g. an invalid weight in
+    /// a zero-copy shared batch) if it stopped with one. Every worker is
+    /// joined first either way, so no thread is leaked and finalize never
+    /// hangs.
+    pub fn finalize(mut self) -> Result<DispersedSummary> {
+        for shard in 0..self.lanes.len() {
             self.flush_shard(shard);
         }
-        // Dropping the senders closes the channels; each worker drains its
-        // queue and finalizes.
-        self.senders.clear();
-        let summaries: Vec<DispersedSummary> = self
-            .workers
-            .drain(..)
-            .map(|worker| worker.join().expect("shard worker panicked"))
-            .collect();
-        merge_disjoint_summaries(&summaries)
-            .expect("per-shard summaries share one configuration by construction")
+        // Dropping the lanes closes the batch channels; each worker drains
+        // its queue and finalizes.
+        self.lanes.clear();
+        let mut summaries = Vec::with_capacity(self.workers.len());
+        let mut failure = None;
+        for (shard, worker) in self.workers.drain(..).enumerate() {
+            match worker.join() {
+                Ok(Ok(summary)) => summaries.push(summary),
+                Ok(Err(error)) => {
+                    failure.get_or_insert(error);
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    failure.get_or_insert(CwsError::ShardWorkerPanicked { shard, message });
+                }
+            }
+        }
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(merge_disjoint_summaries(&summaries)
+                .expect("per-shard summaries share one configuration by construction")),
+        }
     }
 }
 
@@ -277,18 +478,64 @@ mod tests {
         let data = fixture();
         let config = SummaryConfig::new(40, RankFamily::Ipps, CoordinationMode::SharedSeed, 9);
         let mut sequential = MultiAssignmentStreamSampler::new(config, 3);
-        sequential.push_batch(data.iter());
+        sequential.push_batch(data.iter()).unwrap();
         let expected = sequential.finalize();
 
         for shards in [1usize, 2, 4, 8] {
             // Tiny batches force many channel round-trips.
             let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, shards, 16);
             assert_eq!(sharded.num_shards(), shards);
-            sharded.push_batch(data.iter());
+            sharded.push_batch(data.iter()).unwrap();
             assert_eq!(sharded.processed(), 1200);
-            let got = sharded.finalize();
+            let got = sharded.finalize().unwrap();
             assert_eq!(got, expected, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn columnar_routes_equal_sequential_bit_for_bit() {
+        let data = fixture();
+        let columns = Arc::new(data.to_columns());
+        let config = SummaryConfig::new(32, RankFamily::Exp, CoordinationMode::SharedSeed, 41);
+        let mut sequential = MultiAssignmentStreamSampler::new(config, 3);
+        sequential.push_columns(&columns).unwrap();
+        let expected = sequential.finalize();
+
+        for shards in [1usize, 2, 5] {
+            let mut borrowed = ShardedDispersedSampler::with_batch_capacity(config, 3, shards, 64);
+            borrowed.push_columns(&columns).unwrap();
+            assert_eq!(borrowed.processed(), 1200);
+            assert_eq!(borrowed.finalize().unwrap(), expected, "borrowed, {shards} shards");
+
+            let mut shared = ShardedDispersedSampler::with_batch_capacity(config, 3, shards, 64);
+            for chunk in columns.split(100) {
+                shared.push_columns_shared(&Arc::new(chunk)).unwrap();
+            }
+            assert_eq!(shared.processed(), 1200);
+            assert_eq!(shared.finalize().unwrap(), expected, "shared, {shards} shards");
+        }
+    }
+
+    #[test]
+    fn mixed_apis_still_merge_bit_exactly() {
+        let data = fixture();
+        let columns = data.to_columns();
+        let config = SummaryConfig::new(24, RankFamily::Ipps, CoordinationMode::Independent, 13);
+        let mut sequential = MultiAssignmentStreamSampler::new(config, 3);
+        sequential.push_columns(&columns).unwrap();
+        let expected = sequential.finalize();
+
+        let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, 4, 32);
+        let chunks = columns.split(500);
+        sharded.push_columns(&chunks[0]).unwrap();
+        sharded.push_columns_shared(&Arc::new(chunks[1].clone())).unwrap();
+        let mut row = Vec::new();
+        for index in 0..chunks[2].len() {
+            chunks[2].copy_row_into(index, &mut row);
+            sharded.push_record(chunks[2].keys()[index], &row).unwrap();
+        }
+        assert_eq!(sharded.processed(), 1200);
+        assert_eq!(sharded.finalize().unwrap(), expected);
     }
 
     #[test]
@@ -305,9 +552,63 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s), "all shards receive traffic");
         // Finalizing without records yields empty sketches, not a hang.
-        let summary = sampler.finalize();
+        let summary = sampler.finalize().unwrap();
         assert_eq!(summary.num_distinct_keys(), 0);
-        let _ = other.finalize();
+        let _ = other.finalize().unwrap();
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        let data = fixture();
+        let config = SummaryConfig::new(16, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, 3, 8);
+        sharded.push_batch(data.iter().take(100)).unwrap();
+        sharded.inject_worker_panic(1);
+        // Keep pushing after the panic: sends to the dead shard must fail
+        // softly rather than panic or block forever.
+        sharded.push_batch(data.iter().skip(100)).unwrap();
+        let err = sharded.finalize().unwrap_err();
+        match err {
+            CwsError::ShardWorkerPanicked { shard, ref message } => {
+                assert_eq!(shard, 1);
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_at_the_push_boundary() {
+        let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 2);
+        for bad in [f64::NAN, f64::INFINITY, -4.0] {
+            let mut sharded = ShardedDispersedSampler::new(config, 2, 2);
+            assert!(sharded.push_record(5, &[1.0, bad]).is_err());
+            let mut columns = RecordColumns::new(2);
+            columns.push(1, &[1.0, 2.0]);
+            columns.push(5, &[bad, 1.0]);
+            assert!(sharded.push_columns(&columns).is_err());
+            assert_eq!(sharded.processed(), 0);
+            let _ = sharded.finalize().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_shared_batch_surfaces_at_finalize() {
+        let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 2);
+        let mut sharded = ShardedDispersedSampler::new(config, 2, 1);
+        let mut columns = RecordColumns::new(2);
+        columns.push(1, &[1.0, f64::INFINITY]);
+        // The zero-copy path defers validation to the worker...
+        sharded.push_columns_shared(&Arc::new(columns)).unwrap();
+        // ...which carries the same typed error to finalize.
+        let err = sharded.finalize().unwrap_err();
+        match err {
+            CwsError::InvalidParameter { name, ref message } => {
+                assert_eq!(name, "weight");
+                assert!(message.contains("finite and non-negative"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn colocated_stream_pipeline_supports_posterior_queries() {
 
     let mut sampler = ColocatedStreamSampler::new(config, data.num_assignments());
     for (key, weights) in data.iter() {
-        sampler.push(key, weights);
+        sampler.push(key, weights).unwrap();
     }
     let summary = sampler.finalize();
     assert!(summary.num_distinct_keys() >= 250);

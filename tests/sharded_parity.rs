@@ -1,15 +1,20 @@
-//! Bit-exactness of the PR-2 ingestion engine (ISSUE 2, tentpole + satellite
-//! 3): the hash-once multi-assignment sampler and the sharded parallel
-//! engine must produce summaries **bit-identical** to sequential
-//! per-assignment ingestion and to the offline builder, for every rank
-//! family, dispersable coordination mode, shard count and arrival order.
+//! Bit-exactness of the ingestion engine (ISSUE 2 tentpole, extended by
+//! ISSUE 3's structure-of-arrays routes): the hash-once multi-assignment
+//! sampler and the sharded parallel engine must produce summaries
+//! **bit-identical** to sequential per-assignment ingestion and to the
+//! offline builder, for every rank family, dispersable coordination mode,
+//! shard count, ingestion API (per-record, partitioned columns, zero-copy
+//! shared columns) and arrival order.
 
 mod common;
+
+use std::sync::Arc;
 
 use common::{arb_multiweighted, case_rng, shuffle, MASTER_SEED};
 use coordinated_sampling::prelude::*;
 use coordinated_sampling::stream::sharded::ShardedDispersedSampler;
 use coordinated_sampling::stream::{DispersedStreamSampler, MultiAssignmentStreamSampler};
+use cws_core::columns::RecordColumns;
 use cws_hash::RandomSource;
 
 const CASES: u64 = 24;
@@ -42,42 +47,72 @@ fn assert_bit_identical(a: &DispersedSummary, b: &DispersedSummary, context: &st
     }
 }
 
+/// Shuffled records of a seeded random data set, both as rows and columns.
+fn shuffled_records(case: u64, label: &str) -> (Vec<(Key, Vec<f64>)>, RecordColumns, usize) {
+    let rng = &mut case_rng(label, case);
+    let data = arb_multiweighted(rng, 120);
+    let assignments = data.num_assignments();
+    let mut records: Vec<(Key, Vec<f64>)> =
+        data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
+    shuffle(&mut records, rng);
+    let mut columns = RecordColumns::with_capacity(assignments, records.len());
+    for (key, weights) in &records {
+        columns.push(*key, weights);
+    }
+    (records, columns, assignments)
+}
+
 /// Sharded ingestion equals sequential hash-once ingestion for every rank
-/// family × coordination mode × shard count, over seeded shuffled streams.
+/// family × coordination mode × shard count × ingestion API, over seeded
+/// shuffled streams.
 #[test]
 fn sharded_equals_sequential_for_all_families_and_shard_counts() {
     for case in 0..CASES {
-        let rng = &mut case_rng("sharded_parity", case);
-        let data = arb_multiweighted(rng, 120);
-        let assignments = data.num_assignments();
+        let (records, columns, assignments) = shuffled_records(case, "sharded_parity");
+        let rng = &mut case_rng("sharded_parity_k", case);
         let k = 1 + rng.next_below(14) as usize;
-
-        let mut records: Vec<(Key, Vec<f64>)> =
-            data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
-        shuffle(&mut records, rng);
 
         for config in dispersable_configs(k, MASTER_SEED ^ case) {
             let mut sequential = MultiAssignmentStreamSampler::new(config, assignments);
             for (key, weights) in &records {
-                sequential.push_record(*key, weights);
+                sequential.push_record(*key, weights).unwrap();
             }
             let expected = sequential.finalize();
 
             for shards in SHARD_COUNTS {
-                // A small batch capacity forces many cross-thread flushes.
+                let context = format!(
+                    "case {case}: {:?}/{:?} k={k} shards={shards}",
+                    config.family, config.mode
+                );
+                // Per-record route; a small batch capacity forces many
+                // cross-thread flushes and pool recycles.
                 let mut sharded =
                     ShardedDispersedSampler::with_batch_capacity(config, assignments, shards, 8);
                 for (key, weights) in &records {
-                    sharded.push_record(*key, weights);
+                    sharded.push_record(*key, weights).unwrap();
                 }
-                let got = sharded.finalize();
+                assert_bit_identical(&sharded.finalize().unwrap(), &expected, &context);
+
+                // Partitioned-columns route (one borrowed SoA batch).
+                let mut sharded =
+                    ShardedDispersedSampler::with_batch_capacity(config, assignments, shards, 8);
+                sharded.push_columns(&columns).unwrap();
                 assert_bit_identical(
-                    &got,
+                    &sharded.finalize().unwrap(),
                     &expected,
-                    &format!(
-                        "case {case}: {:?}/{:?} k={k} shards={shards}",
-                        config.family, config.mode
-                    ),
+                    &format!("{context} [columns]"),
+                );
+
+                // Zero-copy shared route (chunked Arc batches).
+                let mut sharded =
+                    ShardedDispersedSampler::with_batch_capacity(config, assignments, shards, 8);
+                for chunk in columns.split(13) {
+                    sharded.push_columns_shared(&Arc::new(chunk)).unwrap();
+                }
+                assert_bit_identical(
+                    &sharded.finalize().unwrap(),
+                    &expected,
+                    &format!("{context} [shared]"),
                 );
             }
         }
@@ -86,34 +121,37 @@ fn sharded_equals_sequential_for_all_families_and_shard_counts() {
 
 /// The hash-once sampler equals the per-assignment dispersed sampler and the
 /// offline builder on shuffled streams — one key hash per record loses
-/// nothing.
+/// nothing, whether records arrive as rows or as columns.
 #[test]
 fn hash_once_equals_per_assignment_and_offline() {
     for case in 0..CASES {
-        let rng = &mut case_rng("hash_once_parity", case);
-        let data = arb_multiweighted(rng, 120);
-        let assignments = data.num_assignments();
+        let (records, columns, assignments) = shuffled_records(case, "hash_once_parity");
+        let rng = &mut case_rng("hash_once_parity_k", case);
         let k = 1 + rng.next_below(14) as usize;
-
-        let mut records: Vec<(Key, Vec<f64>)> =
-            data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
-        shuffle(&mut records, rng);
+        let mut builder = MultiWeighted::builder(assignments);
+        for (key, weights) in &records {
+            builder.add_vector(*key, weights);
+        }
+        let data = builder.build();
 
         for config in dispersable_configs(k, MASTER_SEED ^ (case << 1)) {
             let offline = DispersedSummary::build(&data, &config);
 
             let mut once = MultiAssignmentStreamSampler::new(config, assignments);
+            let mut columnar = MultiAssignmentStreamSampler::new(config, assignments);
             let mut per = DispersedStreamSampler::new(config, assignments);
             for (key, weights) in &records {
-                once.push_record(*key, weights);
+                once.push_record(*key, weights).unwrap();
                 for (b, &w) in weights.iter().enumerate() {
                     per.push(b, *key, w).unwrap();
                 }
             }
+            columnar.push_columns(&columns).unwrap();
             let context = format!("case {case}: {:?}/{:?} k={k}", config.family, config.mode);
             let once = once.finalize();
             assert_bit_identical(&once, &per.finalize(), &context);
             assert_bit_identical(&once, &offline, &context);
+            assert_bit_identical(&once, &columnar.finalize(), &format!("{context} [columns]"));
         }
     }
 }
@@ -130,11 +168,40 @@ fn sharded_record_accounting() {
 
     let mut sharded = ShardedDispersedSampler::new(config, assignments, 4);
     for (key, weights) in data.iter() {
-        sharded.push_record(key, weights);
+        sharded.push_record(key, weights).unwrap();
     }
     assert_eq!(sharded.processed(), data.num_keys() as u64);
-    let summary = sharded.finalize();
+    let summary = sharded.finalize().unwrap();
     for key in summary.union_keys() {
         assert!((key as usize) < data.num_keys(), "unknown key {key} in summary");
+    }
+}
+
+/// A panicking worker surfaces as [`CwsError::ShardWorkerPanicked`] from
+/// finalize — never a hang, never a poisoned join — and pushing to the dead
+/// shard in the meantime stays safe.
+#[test]
+fn injected_worker_panic_is_reported_on_finalize() {
+    let rng = &mut case_rng("sharded_panic", 0);
+    let data = arb_multiweighted(rng, 150);
+    let assignments = data.num_assignments();
+    let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 5);
+
+    let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, assignments, 3, 4);
+    let records: Vec<(Key, Vec<f64>)> =
+        data.iter().map(|(key, weights)| (key, weights.to_vec())).collect();
+    for (key, weights) in records.iter().take(50) {
+        sharded.push_record(*key, weights).unwrap();
+    }
+    sharded.inject_worker_panic(2);
+    for (key, weights) in records.iter().skip(50) {
+        sharded.push_record(*key, weights).unwrap();
+    }
+    match sharded.finalize() {
+        Err(CwsError::ShardWorkerPanicked { shard, message }) => {
+            assert_eq!(shard, 2);
+            assert!(message.contains("injected"), "{message}");
+        }
+        other => panic!("expected a shard-worker panic report, got {other:?}"),
     }
 }

@@ -33,7 +33,7 @@ fn colocated_stream_equals_offline_on_shuffled_stream() {
 
         let mut sampler = ColocatedStreamSampler::new(config, data.num_assignments());
         for (key, weights) in &rows {
-            sampler.push(*key, weights);
+            sampler.push(*key, weights).unwrap();
         }
         let streamed = sampler.finalize();
         assert_eq!(streamed, offline, "case {case}");
@@ -85,7 +85,7 @@ fn colocated_and_dispersed_streams_share_sketches() {
         let mut colocated = ColocatedStreamSampler::new(config, data.num_assignments());
         let mut dispersed = DispersedStreamSampler::new(config, data.num_assignments());
         for (key, weights) in data.iter() {
-            colocated.push(key, weights);
+            colocated.push(key, weights).unwrap();
             for (assignment, &w) in weights.iter().enumerate() {
                 dispersed.push(assignment, key, w).unwrap();
             }
