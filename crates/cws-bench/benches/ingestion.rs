@@ -1,5 +1,5 @@
 //! Micro-benchmarks of the ingestion hot path: the layers the
-//! `ingest_baseline` binary snapshots into `BENCH_pr3.json`. The workload
+//! `ingest_baseline` binary snapshots into `BENCH_pr4.json`. The workload
 //! bodies live in [`cws_bench::workloads`], shared with that binary so the
 //! two can never desynchronize.
 //!
@@ -11,6 +11,9 @@
 //!   (`MultiAssignmentStreamSampler`).
 //! * `sharded` — parallel ingestion at 1/2/4/8 shards, per-record handoff
 //!   vs zero-copy shared column batches.
+//! * `aggregation` — the `Pipeline` facade's `SumByKey` pre-aggregation
+//!   stage absorbing an unaggregated element stream (2–5 fragments per
+//!   slot) and draining into the hash-once sampler.
 //!
 //! Set `CWS_BENCH_QUICK=1` for the CI smoke configuration (small dataset,
 //! few samples).
@@ -114,5 +117,22 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_push, bench_multi_assignment, bench_sharded);
+fn bench_aggregation(c: &mut Criterion) {
+    let elements = cws_bench::ingestion_elements(num_keys(), ASSIGNMENTS);
+    let config = config();
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(samples()).throughput(Throughput::Elements(elements.len() as u64));
+    group.bench_function(BenchmarkId::new("sum_by_key_elements", ASSIGNMENTS), |b| {
+        b.iter(|| black_box(workloads::sum_by_key_elements(&elements, config, ASSIGNMENTS)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_push,
+    bench_multi_assignment,
+    bench_sharded,
+    bench_aggregation
+);
 criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Regenerates the ingestion-performance baseline (`BENCH_pr3.json`).
+//! Regenerates the ingestion-performance baseline (`BENCH_pr4.json`).
 //!
 //! Measures the layers of the ingestion hot path — single-assignment push
 //! throughput (scalar and batched), per-assignment hashing vs the hash-once
-//! row and column paths, and sharded scaling over both the per-record and
-//! the zero-copy column handoff — on the synthetic Zipf stream, and emits a
-//! JSON snapshot so later PRs have a perf trajectory to compare against.
+//! row and column paths, sharded scaling over both the per-record and the
+//! zero-copy column handoff, and the `Pipeline` facade's `SumByKey`
+//! pre-aggregation stage over an unaggregated element stream — on the
+//! synthetic Zipf workload, and emits a JSON snapshot so later PRs have a
+//! perf trajectory to compare against.
 //!
 //! Usage:
 //!
@@ -22,7 +24,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use cws_bench::{ingestion_columns, ingestion_dataset, workloads};
+use cws_bench::{ingestion_columns, ingestion_dataset, ingestion_elements, workloads};
 use cws_core::columns::RecordColumns;
 use cws_core::coordination::{CoordinationMode, RankGenerator};
 use cws_core::ranks::RankFamily;
@@ -85,6 +87,10 @@ struct Baseline {
     hash_once_columns_records_per_sec: f64,
     /// Per shard count: (shards, per-record route, zero-copy column route).
     sharded_records_per_sec: Vec<(usize, f64, f64)>,
+    /// Size of the unaggregated element stream (2–5 fragments per slot).
+    num_elements: usize,
+    /// The `SumByKey` pre-aggregation stage, in elements per second.
+    sum_by_key_elements_per_sec: f64,
 }
 
 fn run_baseline(quick: bool) -> Baseline {
@@ -129,6 +135,16 @@ fn run_baseline(quick: bool) -> Baseline {
         "[ingest_baseline] hash-once columns: {hash_once_columns_records_per_sec:.3e} records/s"
     );
 
+    let elements = ingestion_elements(num_keys, ASSIGNMENTS);
+    let sum_by_key_elements_per_sec = measure(elements.len(), reps, || {
+        workloads::sum_by_key_elements(&elements, config, ASSIGNMENTS)
+    });
+    eprintln!(
+        "[ingest_baseline] SumByKey pre-aggregation: {sum_by_key_elements_per_sec:.3e} elements/s \
+         over {} elements",
+        elements.len()
+    );
+
     let mut sharded_records_per_sec = Vec::new();
     for shards in SHARD_COUNTS {
         let record_rate = measure(num_keys, reps, || workloads::sharded(&data, config, shards));
@@ -152,6 +168,8 @@ fn run_baseline(quick: bool) -> Baseline {
         hash_once_batch_records_per_sec,
         hash_once_columns_records_per_sec,
         sharded_records_per_sec,
+        num_elements: elements.len(),
+        sum_by_key_elements_per_sec,
     }
 }
 
@@ -162,7 +180,7 @@ fn to_json(b: &Baseline) -> String {
     let batch_speedup = b.single_batch_keys_per_sec / b.single_keys_per_sec;
     let base_rate = b.sharded_records_per_sec[0].2;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"cws-ingestion-baseline/v2\",\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v3\",\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
     );
@@ -198,6 +216,14 @@ fn to_json(b: &Baseline) -> String {
     ));
     out.push_str(&format!("    \"hash_once_speedup\": {speedup:.2},\n"));
     out.push_str(&format!("    \"hash_once_columns_speedup\": {columns_speedup:.2}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"aggregation\": {\n");
+    out.push_str(&format!("    \"num_elements\": {},\n", b.num_elements));
+    out.push_str("    \"fragments_per_slot\": \"2-5\",\n");
+    out.push_str(&format!(
+        "    \"sum_by_key_elements_per_sec\": {:.1}\n",
+        b.sum_by_key_elements_per_sec
+    ));
     out.push_str("  },\n");
     out.push_str("  \"sharded\": [\n");
     for (i, &(shards, record_rate, column_rate)) in b.sharded_records_per_sec.iter().enumerate() {

@@ -6,7 +6,7 @@
 
 use cws_core::columns::RecordColumns;
 use cws_core::weights::MultiWeighted;
-use cws_data::synthetic::{correlated_zipf, correlated_zipf_columns};
+use cws_data::synthetic::{correlated_zipf, correlated_zipf_columns, element_stream, Element};
 
 /// A medium, skewed, three-assignment data set used by the micro-benchmarks.
 #[must_use]
@@ -36,6 +36,15 @@ pub fn ingestion_columns(num_keys: usize, num_assignments: usize) -> RecordColum
     correlated_zipf_columns(num_keys, num_assignments, 1.1, 0.7, 0.1, 0x17_6E57)
 }
 
+/// [`ingestion_columns`] shredded into an *unaggregated* element stream:
+/// every non-zero `(key, assignment)` slot split into 2–5 interleaved
+/// weight fragments that recombine bit-exactly under `SumByKey`
+/// aggregation — the raw-log workload of the pre-aggregation stage.
+#[must_use]
+pub fn ingestion_elements(num_keys: usize, num_assignments: usize) -> Vec<Element> {
+    element_stream(&ingestion_columns(num_keys, num_assignments), 2, 5, 0x17_6E58)
+}
+
 /// `true` when benches should run in quick (CI smoke) mode — controlled by
 /// the `CWS_BENCH_QUICK` environment variable.
 #[must_use]
@@ -56,6 +65,8 @@ pub mod workloads {
     use cws_core::coordination::RankGenerator;
     use cws_core::summary::SummaryConfig;
     use cws_core::weights::MultiWeighted;
+    use cws_data::synthetic::Element;
+    use cws_engine::{Aggregation, Ingest, Layout, Pipeline};
     use cws_stream::{
         BottomKStreamSampler, DispersedStreamSampler, MultiAssignmentStreamSampler,
         ShardedDispersedSampler,
@@ -125,6 +136,37 @@ pub mod workloads {
         sampler.finalize().expect("no worker failure").num_distinct_keys()
     }
 
+    /// Records per batch handed to `Pipeline::push_elements` — the arrival
+    /// granularity of a collector draining a socket or log segment.
+    pub const ELEMENT_BATCH: usize = 4096;
+
+    /// The facade's pre-aggregation stage over an unaggregated element
+    /// stream: `Pipeline` with `SumByKey` aggregation absorbing raw
+    /// `(key, assignment, fragment)` observations in
+    /// [`ELEMENT_BATCH`]-element batches, draining into the hash-once
+    /// sampler at finalize. Throughput is *elements* per second (an
+    /// element is one fragment, not one record).
+    pub fn sum_by_key_elements(
+        elements: &[Element],
+        config: SummaryConfig,
+        num_assignments: usize,
+    ) -> usize {
+        let mut pipeline = Pipeline::builder()
+            .assignments(num_assignments)
+            .k(config.k)
+            .rank(config.family)
+            .coordination(config.mode)
+            .layout(Layout::Dispersed)
+            .aggregation(Aggregation::SumByKey)
+            .seed(config.seed)
+            .build()
+            .expect("valid configuration");
+        for batch in elements.chunks(ELEMENT_BATCH) {
+            pipeline.push_elements(batch).expect("valid elements");
+        }
+        pipeline.finalize().expect("sequential ingestion cannot fail").num_distinct_keys()
+    }
+
     /// Sharded ingestion fed pre-chunked shared column batches — the
     /// zero-copy handoff (with one shard the `Arc` goes to the worker
     /// untouched; with more, columns are partitioned into pooled buffers).
@@ -177,5 +219,13 @@ mod tests {
         for shards in [1usize, 3] {
             assert_eq!(workloads::sharded_columns(&batches, config, shards), expected);
         }
+
+        let elements = ingestion_elements(3_000, 4);
+        assert!(elements.len() > 3_000 * 4, "fragmentation multiplies the stream");
+        assert_eq!(
+            workloads::sum_by_key_elements(&elements, config, 4),
+            expected,
+            "pre-aggregated elements must sample identically to aggregated records"
+        );
     }
 }

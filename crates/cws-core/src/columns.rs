@@ -249,6 +249,23 @@ impl RecordColumns {
         chunks
     }
 
+    /// Assembles a batch directly from an already-columnar key column and
+    /// weight lanes — the zero-copy exit of producers that accumulate in
+    /// structure-of-arrays form themselves (e.g. the streaming
+    /// pre-aggregation stage of `cws-engine`).
+    ///
+    /// # Panics
+    /// Panics if `lanes` is empty or any lane's length differs from the key
+    /// column's.
+    #[must_use]
+    pub fn from_parts(keys: Vec<Key>, lanes: Vec<Vec<f64>>) -> Self {
+        assert!(!lanes.is_empty(), "at least one weight assignment is required");
+        for lane in &lanes {
+            assert_eq!(lane.len(), keys.len(), "key and weight columns must align");
+        }
+        Self { keys, lanes }
+    }
+
     /// Converts a row-major [`MultiWeighted`] data set into columns
     /// (insertion order preserved).
     #[must_use]
@@ -329,6 +346,21 @@ mod tests {
             rebuilt.extend_from(chunk, 0, chunk.len());
         }
         assert_eq!(rebuilt, source);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let built = RecordColumns::from_parts(
+            vec![10, 11, 12],
+            vec![vec![1.0, 3.0, 5.0], vec![2.0, 0.0, 6.0]],
+        );
+        assert_eq!(built, sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must align")]
+    fn from_parts_rejects_ragged_lanes() {
+        let _ = RecordColumns::from_parts(vec![1, 2], vec![vec![1.0, 2.0], vec![3.0]]);
     }
 
     #[test]

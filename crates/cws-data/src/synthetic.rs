@@ -81,6 +81,91 @@ pub fn correlated_zipf_columns(
     correlated_zipf(num_keys, num_assignments, exponent, correlation, churn, seed).to_columns()
 }
 
+/// One observation of an *unaggregated* element stream: a key, the weight
+/// assignment it contributes to, and a fragment of that slot's total weight.
+pub type Element = (u64, usize, f64);
+
+/// Shreds an aggregated column batch into a deterministic unaggregated
+/// element stream: every non-zero `(key, assignment)` slot is split into
+/// `min_fragments..=max_fragments` weight fragments, and the fragments of
+/// all slots are interleaved pseudo-randomly (keys arrive mixed together,
+/// the way raw log records do before any aggregation).
+///
+/// Two properties make the stream usable as a *bit-exact* parity input for
+/// a `SumByKey` aggregation stage:
+///
+/// * **Exact recombination.** Fragments are differences of partial-sum
+///   targets `w·j/n`, with the final fragment computed as `w − acc`; since
+///   the accumulated prefix is at least `w/2` by then, Sterbenz's lemma
+///   makes the closing subtraction exact and in-order summation reproduces
+///   `w` to the bit. (Each slot's construction is verified by replay; in
+///   the — unobserved — event floating point misbehaves, the slot falls
+///   back to a single fragment.)
+/// * **Order preservation within a slot.** The interleaving shuffles slots
+///   against each other but never reorders the fragments of one slot, so
+///   the aggregator's per-slot accumulation order matches the construction
+///   order.
+///
+/// Zero-weight slots emit nothing (an absent element and an explicit zero
+/// weight produce identical summaries).
+///
+/// # Panics
+/// Panics if `min_fragments == 0` or `min_fragments > max_fragments`.
+#[must_use]
+pub fn element_stream(
+    columns: &RecordColumns,
+    min_fragments: usize,
+    max_fragments: usize,
+    seed: u64,
+) -> Vec<Element> {
+    assert!(min_fragments >= 1, "need at least one fragment per slot");
+    assert!(min_fragments <= max_fragments, "fragment range must be non-empty");
+    let mut rng = rng_for(seed, 0x0E1E_7E57);
+    let span = (max_fragments - min_fragments + 1) as u64;
+    // (token, emission sequence, element): sorted by token to interleave
+    // slots; the sequence number breaks token ties while preserving each
+    // slot's internal order (tokens within a slot are assigned ascending).
+    let mut tagged: Vec<(u64, usize, Element)> = Vec::new();
+    let mut fragments: Vec<f64> = Vec::new();
+    for (index, &key) in columns.keys().iter().enumerate() {
+        for assignment in 0..columns.num_assignments() {
+            let weight = columns.lane(assignment)[index];
+            if weight == 0.0 {
+                continue;
+            }
+            let n = min_fragments + rng.next_below(span) as usize;
+            fragments.clear();
+            let mut acc = 0.0f64;
+            for j in 1..n {
+                let target = weight * (j as f64 / n as f64);
+                let fragment = target - acc;
+                if fragment > 0.0 && fragment.is_finite() {
+                    fragments.push(fragment);
+                    acc += fragment;
+                }
+            }
+            let last = weight - acc;
+            if last != 0.0 {
+                fragments.push(last);
+            }
+            // Replay guard: the whole point of the construction is that
+            // in-order summation lands exactly on `weight`.
+            let replay: f64 = fragments.iter().fold(0.0, |sum, &f| sum + f);
+            if replay.to_bits() != weight.to_bits() {
+                fragments.clear();
+                fragments.push(weight);
+            }
+            let mut tokens: Vec<u64> = (0..fragments.len()).map(|_| rng.next_u64()).collect();
+            tokens.sort_unstable();
+            for (&token, &fragment) in tokens.iter().zip(&fragments) {
+                tagged.push((token, tagged.len(), (key, assignment, fragment)));
+            }
+        }
+    }
+    tagged.sort_unstable_by_key(|&(token, sequence, _)| (token, sequence));
+    tagged.into_iter().map(|(_, _, element)| element).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +224,43 @@ mod tests {
         let total = 300 * 2;
         let fraction = zeros as f64 / total as f64;
         assert!((fraction - 0.4).abs() < 0.08, "zero fraction {fraction}");
+    }
+
+    #[test]
+    fn element_stream_recombines_bit_exactly_in_slot_order() {
+        let columns = correlated_zipf_columns(300, 4, 1.1, 0.7, 0.2, 0x5EED);
+        let elements = element_stream(&columns, 2, 5, 9);
+        assert_eq!(elements, element_stream(&columns, 2, 5, 9), "deterministic");
+
+        // Re-aggregate in arrival order and compare bit-for-bit.
+        let mut sums = vec![vec![0.0f64; columns.len()]; columns.num_assignments()];
+        let index_of: std::collections::HashMap<u64, usize> =
+            columns.keys().iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        for &(key, assignment, fragment) in &elements {
+            sums[assignment][index_of[&key]] += fragment;
+        }
+        for (assignment, lane_sums) in sums.iter().enumerate() {
+            for (index, &weight) in columns.lane(assignment).iter().enumerate() {
+                assert_eq!(
+                    lane_sums[index].to_bits(),
+                    weight.to_bits(),
+                    "slot (key {}, assignment {assignment})",
+                    columns.keys()[index]
+                );
+            }
+        }
+
+        // Fragment counts respect the requested range per non-zero slot.
+        let mut per_slot = std::collections::HashMap::new();
+        for &(key, assignment, _) in &elements {
+            *per_slot.entry((key, assignment)).or_insert(0usize) += 1;
+        }
+        assert!(per_slot.values().all(|&n| (1..=5).contains(&n)));
+        // The stream is genuinely interleaved: the first few elements do not
+        // all belong to the first key.
+        let first_keys: std::collections::HashSet<u64> =
+            elements.iter().take(16).map(|&(k, _, _)| k).collect();
+        assert!(first_keys.len() > 4, "interleaving looks broken: {first_keys:?}");
     }
 
     #[test]

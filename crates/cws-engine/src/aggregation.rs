@@ -1,0 +1,497 @@
+//! Streaming pre-aggregation: turning *unaggregated* element streams into
+//! the aggregated `(key, weight-vector)` records the samplers require.
+//!
+//! The samplers of `cws-stream` assume each key appears at most once — the
+//! paper's model, where per-key weights (flow byte counts, monthly rating
+//! totals) have already been aggregated. Real streams rarely arrive that
+//! way: a flow's bytes come packet by packet, a movie's monthly count
+//! rating by rating. [`KeyAggregator`] is the stage in front of the
+//! samplers that absorbs raw `(key, assignment, weight)` elements, combines
+//! them per `(key, assignment)` slot (sum or max), and emits the finished
+//! records in the structure-of-arrays layout
+//! ([`RecordColumns`]) the zero-copy ingestion path consumes.
+//!
+//! # Design
+//!
+//! The table is a hand-rolled open-addressing index (power-of-two sized,
+//! linear probing, [`KeyHasher`] hashes) over *dense, insertion-ordered,
+//! columnar* storage: one key column plus one weight lane per assignment —
+//! exactly the [`RecordColumns`] layout, so
+//! [`KeyAggregator::into_columns`] hands the finished batch to the sampler
+//! without copying a single weight. The hot path (one element) costs one
+//! hash, one probe chain through the compact 4-byte-per-entry index and
+//! one lane update; no `std` hash-map overhead, no per-element allocation.
+//!
+//! Exact streaming aggregation must hold every open key (a key's total is
+//! unknown until the stream ends), so memory is `O(distinct keys)` — that
+//! is the cost of the aggregation guarantee, not an implementation detail.
+//! The flush threshold of the surrounding [`Pipeline`](crate::Pipeline)
+//! bounds the *hand-off batches* drained out of the table, not the table
+//! itself.
+//!
+//! Summation order follows arrival order per slot, so for a given element
+//! stream the aggregate — and therefore the downstream sample — is exactly
+//! reproducible.
+
+use cws_core::columns::{
+    first_invalid_weight, invalid_weight_error, weight_is_valid, RecordColumns,
+};
+use cws_core::{CwsError, Key, Result};
+use cws_hash::KeyHasher;
+
+/// Salt for the aggregation-table hash stream: deterministic per master
+/// seed, uncorrelated with the rank and shard-routing hashes.
+const AGGREGATOR_STREAM: u64 = 0x5AAD_EDC0_DE00_0003;
+
+/// How a [`Pipeline`](crate::Pipeline) treats incoming weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// The stream is already aggregated: each key appears at most once and
+    /// records flow straight into the sampler (the historical behaviour).
+    PreAggregated,
+    /// Unaggregated stream: per-`(key, assignment)` weights are **summed**
+    /// before sampling (bytes per flow, ratings per movie).
+    SumByKey,
+    /// Unaggregated stream: per-`(key, assignment)` weights are **maxed**
+    /// before sampling (peak rate per flow, largest order per ticker).
+    MaxByKey,
+}
+
+impl Aggregation {
+    /// `true` when this mode inserts the pre-aggregation stage.
+    #[must_use]
+    pub fn is_aggregating(self) -> bool {
+        !matches!(self, Aggregation::PreAggregated)
+    }
+}
+
+/// The streaming pre-aggregation table (see the module docs).
+#[derive(Debug, Clone)]
+pub struct KeyAggregator {
+    mode: Aggregation,
+    hasher: KeyHasher,
+    /// Dense key column, insertion-ordered.
+    keys: Vec<Key>,
+    /// Dense weight lanes, one per assignment: `lanes[a][slot]`.
+    lanes: Vec<Vec<f64>>,
+    /// Open-addressing index: table position → dense slot + 1 (0 = empty).
+    /// Kept to 4 bytes per entry — at 50% max load the index stays an
+    /// order of magnitude smaller than the weight lanes, so probes mostly
+    /// hit cache (an experiment storing keys inline in 16-byte entries
+    /// measured *slower* at 200k keys: the 4× larger index evicted more
+    /// than the saved key-column access bought).
+    table: Vec<u32>,
+    /// `table.len() - 1`; the table is always a power of two.
+    mask: u64,
+    /// Reusable slot buffer for the batched element path.
+    slot_scratch: Vec<u32>,
+    /// Number of absorbed elements / records (accepted pushes).
+    absorbed: u64,
+}
+
+impl KeyAggregator {
+    /// Initial index size; grows by doubling at 50% load.
+    const INITIAL_TABLE: usize = 1024;
+
+    /// Creates an aggregator for `num_assignments` assignments.
+    ///
+    /// # Panics
+    /// Panics if `num_assignments == 0` or `mode` is
+    /// [`Aggregation::PreAggregated`] (there is nothing to aggregate).
+    #[must_use]
+    pub fn new(mode: Aggregation, num_assignments: usize, seed: u64) -> Self {
+        assert!(num_assignments > 0, "at least one weight assignment is required");
+        assert!(mode.is_aggregating(), "PreAggregated streams bypass the aggregation stage");
+        Self {
+            mode,
+            hasher: KeyHasher::new(seed).derive(AGGREGATOR_STREAM),
+            keys: Vec::new(),
+            lanes: (0..num_assignments).map(|_| Vec::new()).collect(),
+            table: vec![0; Self::INITIAL_TABLE],
+            mask: (Self::INITIAL_TABLE - 1) as u64,
+            slot_scratch: Vec::new(),
+            absorbed: 0,
+        }
+    }
+
+    /// Number of weight assignments.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of distinct keys currently held.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of accepted pushes (elements plus records).
+    #[must_use]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// The dense slot of `key`, inserting a zero-weight row if absent.
+    #[inline]
+    fn slot_of(&mut self, key: Key) -> usize {
+        let mut position = self.hasher.hash_u64(key) & self.mask;
+        loop {
+            let entry = self.table[position as usize];
+            if entry == 0 {
+                return self.insert(key, position);
+            }
+            let slot = (entry - 1) as usize;
+            if self.keys[slot] == key {
+                return slot;
+            }
+            position = (position + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key` at the probed empty `position`, growing first if the
+    /// index is at half load.
+    #[cold]
+    fn insert(&mut self, key: Key, position: u64) -> usize {
+        if (self.keys.len() + 1) * 2 > self.table.len() {
+            self.grow();
+            return self.slot_of(key);
+        }
+        let slot = self.keys.len();
+        assert!(slot < u32::MAX as usize, "aggregation table exceeds u32 slot indices");
+        self.keys.push(key);
+        for lane in &mut self.lanes {
+            lane.push(0.0);
+        }
+        self.table[position as usize] = (slot + 1) as u32;
+        slot
+    }
+
+    /// Doubles the index and re-links every dense slot.
+    fn grow(&mut self) {
+        let new_len = self.table.len() * 2;
+        self.mask = (new_len - 1) as u64;
+        self.table.clear();
+        self.table.resize(new_len, 0);
+        for (slot, &key) in self.keys.iter().enumerate() {
+            let mut position = self.hasher.hash_u64(key) & self.mask;
+            while self.table[position as usize] != 0 {
+                position = (position + 1) & self.mask;
+            }
+            self.table[position as usize] = (slot + 1) as u32;
+        }
+    }
+
+    /// Combines one fragment into a slot cell. Returns `false` when a sum
+    /// overflows to `+∞` (the cell is left unchanged) — the one way valid
+    /// inputs can produce a weight the samplers would reject, caught here
+    /// so the error names the real cause instead of surfacing as a
+    /// confusing invalid-weight failure at finalize. A max of two finite
+    /// non-negative values is always finite, so `MaxByKey` cannot fail.
+    #[inline]
+    fn combine(mode: Aggregation, cell: &mut f64, weight: f64) -> bool {
+        match mode {
+            Aggregation::SumByKey => {
+                let sum = *cell + weight;
+                if sum < f64::INFINITY {
+                    *cell = sum;
+                    true
+                } else {
+                    false
+                }
+            }
+            Aggregation::MaxByKey => {
+                *cell = cell.max(weight);
+                true
+            }
+            Aggregation::PreAggregated => unreachable!("constructor rejects PreAggregated"),
+        }
+    }
+
+    /// The error reported when a slot's running sum overflows `f64`.
+    #[cold]
+    fn overflow_error(key: Key, assignment: usize) -> CwsError {
+        CwsError::InvalidParameter {
+            name: "weight",
+            message: format!(
+                "key {key}, assignment {assignment}: the aggregated sum of fragments overflowed \
+                 f64 (reached +∞); the slot keeps its last finite value"
+            ),
+        }
+    }
+
+    /// Absorbs one element: a fragment of `key`'s weight under `assignment`.
+    ///
+    /// # Errors
+    /// Returns [`CwsError::AssignmentOutOfRange`] for an out-of-range
+    /// assignment, an invalid-weight error for a NaN, infinite or negative
+    /// fragment, and an overflow error if the slot's running sum would
+    /// reach `+∞`; rejected elements leave the table's weights untouched.
+    #[inline]
+    pub fn absorb_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        if assignment >= self.lanes.len() {
+            return Err(CwsError::AssignmentOutOfRange {
+                index: assignment,
+                available: self.lanes.len(),
+            });
+        }
+        if !weight_is_valid(weight) {
+            return Err(invalid_weight_error(key, assignment, weight));
+        }
+        let slot = self.slot_of(key);
+        if !Self::combine(self.mode, &mut self.lanes[assignment][slot], weight) {
+            return Err(Self::overflow_error(key, assignment));
+        }
+        self.absorbed += 1;
+        Ok(())
+    }
+
+    /// Absorbs a batch of elements — the high-throughput form of
+    /// [`KeyAggregator::absorb_element`], and bit-identical to absorbing
+    /// each element in order.
+    ///
+    /// The work is split into three passes so the memory system sees one
+    /// tight access stream at a time instead of interleaved dependent
+    /// chains: (1) validate every element, (2) resolve every key to its
+    /// dense slot (the probe loop — nothing else competes for
+    /// load-buffer entries, so consecutive probes overlap), (3) combine
+    /// the fragments into the lanes.
+    ///
+    /// # Errors
+    /// As [`KeyAggregator::absorb_element`]. Validation runs before any
+    /// element is absorbed, so on an invalid assignment or weight the
+    /// table is unchanged. An overflow in pass 3 leaves the elements
+    /// before the offending one combined (treat the stream as poisoned);
+    /// because slots were already resolved for the whole batch, keys whose
+    /// fragments follow the overflow point may remain as zero-weight rows
+    /// — harmless downstream (zero-weight records are never sampled), but
+    /// [`KeyAggregator::num_keys`] can exceed what element-at-a-time
+    /// absorption of the same truncated stream would report.
+    pub fn absorb_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        for &(key, assignment, weight) in elements {
+            if assignment >= self.lanes.len() {
+                return Err(CwsError::AssignmentOutOfRange {
+                    index: assignment,
+                    available: self.lanes.len(),
+                });
+            }
+            if !weight_is_valid(weight) {
+                return Err(invalid_weight_error(key, assignment, weight));
+            }
+        }
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(elements.iter().map(|&(key, _, _)| self.slot_of(key) as u32));
+        let mut result = Ok(());
+        for (&(key, assignment, weight), &slot) in elements.iter().zip(&slots) {
+            if !Self::combine(self.mode, &mut self.lanes[assignment][slot as usize], weight) {
+                result = Err(Self::overflow_error(key, assignment));
+                break;
+            }
+            self.absorbed += 1;
+        }
+        self.slot_scratch = slots;
+        result
+    }
+
+    /// Absorbs one record-shaped fragment: a key with a full weight vector,
+    /// combined lane-wise (a record is one fragment per assignment).
+    ///
+    /// # Errors
+    /// Returns an invalid-weight error for a NaN, infinite or negative
+    /// entry (the fragment is rejected whole), or an overflow error if a
+    /// lane's running sum would reach `+∞` (lanes before the overflowing
+    /// one were combined; treat the stream as poisoned).
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the number of assignments.
+    #[inline]
+    pub fn absorb_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        assert_eq!(weights.len(), self.lanes.len(), "weight vector arity mismatch");
+        if let Some(assignment) = first_invalid_weight(weights) {
+            return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
+        let slot = self.slot_of(key);
+        for (assignment, (lane, &weight)) in self.lanes.iter_mut().zip(weights).enumerate() {
+            if !Self::combine(self.mode, &mut lane[slot], weight) {
+                return Err(Self::overflow_error(key, assignment));
+            }
+        }
+        self.absorbed += 1;
+        Ok(())
+    }
+
+    /// Absorbs a structure-of-arrays batch of record-shaped fragments.
+    ///
+    /// # Errors
+    /// As [`KeyAggregator::absorb_record`]; the batch is validated before
+    /// any of it is absorbed, so on a validation error the table is
+    /// unchanged (an overflow mid-batch leaves the records before the
+    /// offending one combined).
+    ///
+    /// # Panics
+    /// Panics if the batch's assignment count differs from the
+    /// aggregator's.
+    pub fn absorb_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        assert_eq!(columns.num_assignments(), self.lanes.len(), "weight vector arity mismatch");
+        columns.validate()?;
+        for (index, &key) in columns.keys().iter().enumerate() {
+            let slot = self.slot_of(key);
+            for (assignment, lane) in self.lanes.iter_mut().enumerate() {
+                if !Self::combine(self.mode, &mut lane[slot], columns.lane(assignment)[index]) {
+                    return Err(Self::overflow_error(key, assignment));
+                }
+            }
+            self.absorbed += 1;
+        }
+        Ok(())
+    }
+
+    /// Finishes aggregation, handing the dense storage over as one
+    /// [`RecordColumns`] batch without copying — the columnar output that
+    /// feeds the samplers' zero-copy ingestion path. Records appear in key
+    /// first-seen order.
+    #[must_use]
+    pub fn into_columns(self) -> RecordColumns {
+        RecordColumns::from_parts(self.keys, self.lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_maxes_per_slot() {
+        let mut sum = KeyAggregator::new(Aggregation::SumByKey, 2, 7);
+        let mut max = KeyAggregator::new(Aggregation::MaxByKey, 2, 7);
+        for aggregator in [&mut sum, &mut max] {
+            aggregator.absorb_element(10, 0, 1.5).unwrap();
+            aggregator.absorb_element(11, 1, 4.0).unwrap();
+            aggregator.absorb_element(10, 0, 2.5).unwrap();
+            aggregator.absorb_element(10, 1, 0.5).unwrap();
+            assert_eq!(aggregator.num_keys(), 2);
+            assert_eq!(aggregator.absorbed(), 4);
+        }
+        let sum = sum.into_columns();
+        assert_eq!(sum.keys(), &[10, 11]);
+        assert_eq!(sum.lane(0), &[4.0, 0.0]);
+        assert_eq!(sum.lane(1), &[0.5, 4.0]);
+        let max = max.into_columns();
+        assert_eq!(max.lane(0), &[2.5, 0.0]);
+        assert_eq!(max.lane(1), &[0.5, 4.0]);
+    }
+
+    #[test]
+    fn record_and_column_fragments_combine_lane_wise() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 3, 1);
+        aggregator.absorb_record(5, &[1.0, 2.0, 3.0]).unwrap();
+        let mut batch = RecordColumns::new(3);
+        batch.push(5, &[0.5, 0.0, 1.0]);
+        batch.push(6, &[9.0, 9.0, 9.0]);
+        aggregator.absorb_columns(&batch).unwrap();
+        assert_eq!(aggregator.absorbed(), 3);
+        let columns = aggregator.into_columns();
+        assert_eq!(columns.keys(), &[5, 6]);
+        assert_eq!(columns.lane(0), &[1.5, 9.0]);
+        assert_eq!(columns.lane(2), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn growth_preserves_every_slot() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 1, 3);
+        // Far beyond the initial table so the index doubles several times;
+        // scattered keys exercise probe chains before and after growth.
+        for round in 0..3u64 {
+            for key in 0..5000u64 {
+                aggregator
+                    .absorb_element(key * 2_654_435_761, 0, (round + key % 3) as f64)
+                    .unwrap();
+            }
+        }
+        assert_eq!(aggregator.num_keys(), 5000);
+        let columns = aggregator.into_columns();
+        for (index, &key) in columns.keys().iter().enumerate() {
+            let original = key.wrapping_div(2_654_435_761);
+            let expected = (0..3).map(|round| (round + original % 3) as f64).sum::<f64>();
+            assert_eq!(columns.lane(0)[index], expected);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_elements_with_typed_errors() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        assert!(matches!(
+            aggregator.absorb_element(1, 2, 1.0),
+            Err(CwsError::AssignmentOutOfRange { index: 2, available: 2 })
+        ));
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(aggregator.absorb_element(1, 0, bad).is_err());
+            assert!(aggregator.absorb_record(1, &[1.0, bad]).is_err());
+        }
+        assert_eq!(aggregator.absorbed(), 0);
+        assert_eq!(aggregator.num_keys(), 0, "rejected pushes leave no partial rows");
+    }
+
+    #[test]
+    fn batched_elements_match_scalar_absorption_bit_for_bit() {
+        let elements: Vec<(u64, usize, f64)> = (0..4000u64)
+            .map(|i| (i % 613, (i % 3) as usize, ((i % 97) as f64) * 0.37 + 0.01))
+            .collect();
+        for mode in [Aggregation::SumByKey, Aggregation::MaxByKey] {
+            let mut scalar = KeyAggregator::new(mode, 3, 9);
+            for &(key, assignment, weight) in &elements {
+                scalar.absorb_element(key, assignment, weight).unwrap();
+            }
+            let mut batched = KeyAggregator::new(mode, 3, 9);
+            for batch in elements.chunks(257) {
+                batched.absorb_elements(batch).unwrap();
+            }
+            assert_eq!(batched.absorbed(), 4000);
+            let (scalar, batched) = (scalar.into_columns(), batched.into_columns());
+            assert_eq!(scalar.keys(), batched.keys());
+            for assignment in 0..3 {
+                for (a, b) in scalar.lane(assignment).iter().zip(batched.lane(assignment)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_validation_rejects_whole_batch_before_absorbing() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        let err = aggregator.absorb_elements(&[(1, 0, 1.0), (2, 5, 1.0), (3, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, CwsError::AssignmentOutOfRange { index: 5, available: 2 }));
+        let err = aggregator.absorb_elements(&[(1, 0, 1.0), (2, 1, f64::NAN)]).unwrap_err();
+        assert!(err.to_string().contains("key 2"), "{err}");
+        assert_eq!(aggregator.absorbed(), 0);
+        assert_eq!(aggregator.num_keys(), 0, "validation precedes any table mutation");
+    }
+
+    #[test]
+    fn sum_overflow_is_a_typed_error_naming_the_cause() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        aggregator.absorb_element(7, 0, f64::MAX).unwrap();
+        let err = aggregator.absorb_element(7, 0, f64::MAX).unwrap_err();
+        assert!(err.to_string().contains("overflowed"), "{err}");
+        assert_eq!(aggregator.absorbed(), 1, "the overflowing fragment is not counted");
+        // The slot keeps its last finite value, so the table stays valid
+        // and a finalize after the error still feeds the samplers.
+        let columns = aggregator.into_columns();
+        assert_eq!(columns.lane(0), &[f64::MAX]);
+        assert!(columns.validate().is_ok());
+
+        // MaxByKey cannot overflow: the max of finite inputs is finite.
+        let mut aggregator = KeyAggregator::new(Aggregation::MaxByKey, 1, 1);
+        aggregator.absorb_element(7, 0, f64::MAX).unwrap();
+        aggregator.absorb_element(7, 0, f64::MAX).unwrap();
+        assert_eq!(aggregator.absorbed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass the aggregation stage")]
+    fn pre_aggregated_mode_is_rejected() {
+        let _ = KeyAggregator::new(Aggregation::PreAggregated, 1, 0);
+    }
+}

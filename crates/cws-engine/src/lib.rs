@@ -1,0 +1,71 @@
+//! One engine, one query language: a unified [`Pipeline`] facade over every
+//! sampler and estimator of the coordinated-sampling workspace.
+//!
+//! The paper's promise (Cohen, Kaplan, Sen; VLDB 2009) is a *single*
+//! coordinated summary that answers a-posteriori aggregate queries over any
+//! combination of weight assignments. The lower crates realize that promise
+//! with several specialized front-ends — offline builders, per-assignment
+//! stream samplers, the hash-once sampler, the sharded parallel engine —
+//! and two estimator types with diverging method sets. This crate folds all
+//! of them behind three small surfaces:
+//!
+//! * [`Ingest`] — one ingestion trait (`push_record`, `push_batch`,
+//!   `push_columns`, `push_columns_shared`, `finalize`) implemented by every
+//!   stream sampler, with default methods bridging the row and column call
+//!   shapes so each back-end accepts all of them bit-exactly.
+//! * [`Pipeline`] / [`PipelineBuilder`] — one builder that picks the
+//!   back-end from a declarative configuration (`k`, rank family,
+//!   coordination, [`Layout`], [`Execution`], [`Aggregation`]) and, for
+//!   unaggregated element streams, inserts a hash-based pre-aggregation
+//!   stage ([`aggregation::KeyAggregator`]) in front of the samplers.
+//! * [`Query`] / [`Estimate`] — one query object evaluated uniformly
+//!   against colocated and dispersed summaries (the unified [`Summary`]),
+//!   replacing the per-estimator method soup.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cws_engine::prelude::*;
+//! use cws_core::{CoordinationMode, RankFamily};
+//!
+//! let mut pipeline = Pipeline::builder()
+//!     .assignments(3)
+//!     .k(64)
+//!     .rank(RankFamily::Ipps)
+//!     .coordination(CoordinationMode::SharedSeed)
+//!     .layout(Layout::Colocated)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! for key in 0u64..1000 {
+//!     let weights = [(key % 7) as f64, (key % 5) as f64, (key % 3) as f64];
+//!     pipeline.push_record(key, &weights).unwrap();
+//! }
+//! let summary = pipeline.finalize().unwrap();
+//! let estimate = summary.query(&Query::l1([0, 2]).filter(|key| key % 2 == 1)).unwrap();
+//! assert!(estimate.value >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod ingest;
+pub mod pipeline;
+pub mod query;
+pub mod summary;
+
+pub use aggregation::{Aggregation, KeyAggregator};
+pub use ingest::Ingest;
+pub use pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
+pub use query::{Estimate, Query};
+pub use summary::Summary;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::aggregation::Aggregation;
+    pub use crate::ingest::Ingest;
+    pub use crate::pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
+    pub use crate::query::{Estimate, Query};
+    pub use crate::summary::Summary;
+}

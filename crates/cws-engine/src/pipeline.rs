@@ -1,0 +1,518 @@
+//! The [`Pipeline`] facade: one builder, one ingestion surface, one
+//! finalized [`Summary`] — over every sampling back-end of the workspace.
+
+use std::sync::Arc;
+
+use cws_core::columns::RecordColumns;
+use cws_core::summary::SummaryConfig;
+use cws_core::{CoordinationMode, CwsError, Key, RankFamily, Result};
+use cws_stream::{ColocatedStreamSampler, MultiAssignmentStreamSampler, ShardedDispersedSampler};
+
+use crate::aggregation::{Aggregation, KeyAggregator};
+use crate::ingest::Ingest;
+use crate::summary::Summary;
+
+/// Which summary layout the pipeline produces (the paper's two models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Colocated summary (Section 6): full weight vectors per retained key,
+    /// the inclusive estimators, every aggregate including custom functions.
+    Colocated,
+    /// Dispersed summary (Section 7): one bottom-k sketch per assignment,
+    /// the s-set / l-set estimators, shardable ingestion.
+    Dispersed,
+}
+
+/// How ingestion executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Single-threaded ingestion on the calling thread.
+    Sequential,
+    /// Keys partitioned by hash across this many worker threads
+    /// (bit-identical to sequential at any shard count; dispersed layout
+    /// only).
+    Sharded(usize),
+}
+
+/// Builder for [`Pipeline`] — the declarative front door of the engine.
+///
+/// ```
+/// use cws_engine::prelude::*;
+/// use cws_core::{CoordinationMode, RankFamily};
+///
+/// let mut pipeline = Pipeline::builder()
+///     .assignments(8)
+///     .k(256)
+///     .rank(RankFamily::Ipps)
+///     .coordination(CoordinationMode::SharedSeed)
+///     .layout(Layout::Dispersed)
+///     .execution(Execution::Sharded(2))
+///     .aggregation(Aggregation::SumByKey)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// // Unaggregated elements: the same key may arrive many times.
+/// pipeline.push_element(7, 0, 10.0).unwrap();
+/// pipeline.push_element(7, 0, 32.0).unwrap();
+/// pipeline.push_element(9, 3, 5.0).unwrap();
+/// let summary = pipeline.finalize().unwrap();
+/// assert_eq!(summary.num_assignments(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    k: usize,
+    family: RankFamily,
+    mode: CoordinationMode,
+    layout: Layout,
+    execution: Execution,
+    aggregation: Aggregation,
+    seed: u64,
+    assignments: Option<usize>,
+    flush_threshold: Option<usize>,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self {
+            k: 256,
+            family: RankFamily::Ipps,
+            mode: CoordinationMode::SharedSeed,
+            layout: Layout::Colocated,
+            execution: Execution::Sequential,
+            aggregation: Aggregation::PreAggregated,
+            seed: 0,
+            assignments: None,
+            flush_threshold: None,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Number of weight assignments every record carries (required).
+    #[must_use]
+    pub fn assignments(mut self, assignments: usize) -> Self {
+        self.assignments = Some(assignments);
+        self
+    }
+
+    /// Per-assignment sample size `k` (default 256).
+    #[must_use]
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Rank distribution family (default [`RankFamily::Ipps`]).
+    #[must_use]
+    pub fn rank(mut self, family: RankFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Coordination mode across assignments (default
+    /// [`CoordinationMode::SharedSeed`]).
+    #[must_use]
+    pub fn coordination(mut self, mode: CoordinationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Summary layout (default [`Layout::Colocated`]).
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Execution strategy (default [`Execution::Sequential`]).
+    #[must_use]
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Weight aggregation mode (default [`Aggregation::PreAggregated`]).
+    #[must_use]
+    pub fn aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Master hash seed shared by all processing sites (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Maximum records per hand-off batch when the aggregation stage drains
+    /// into the sampler. Default: unbounded — the whole aggregate is handed
+    /// over as **one zero-copy batch**. Set a threshold to bound hand-off
+    /// batch sizes instead (e.g. to cap the sharded engine's in-flight
+    /// buffers).
+    #[must_use]
+    pub fn flush_threshold(mut self, records: usize) -> Self {
+        self.flush_threshold = Some(records);
+        self
+    }
+
+    /// Validates the configuration and assembles the pipeline.
+    ///
+    /// # Errors
+    /// Returns a typed [`CwsError`] — never panics — when:
+    /// * `assignments` is missing or zero, or `k == 0`;
+    /// * the rank family does not support the coordination mode
+    ///   (independent-differences requires EXP ranks);
+    /// * the dispersed layout is combined with independent-differences
+    ///   ranks (that construction only exists colocated);
+    /// * sharded execution is requested with the colocated layout or with
+    ///   zero shards;
+    /// * a flush threshold of zero is set, or a flush threshold is set
+    ///   without an aggregation stage (it would be silently dead
+    ///   configuration).
+    pub fn build(self) -> Result<Pipeline> {
+        let assignments = self.assignments.ok_or_else(|| CwsError::InvalidParameter {
+            name: "assignments",
+            message: "the number of weight assignments is required (PipelineBuilder::assignments)"
+                .to_string(),
+        })?;
+        if assignments == 0 {
+            return Err(CwsError::InvalidParameter {
+                name: "assignments",
+                message: "at least one weight assignment is required".to_string(),
+            });
+        }
+        if self.flush_threshold == Some(0) {
+            return Err(CwsError::InvalidParameter {
+                name: "flush_threshold",
+                message: "the aggregation flush threshold must be positive".to_string(),
+            });
+        }
+        if self.flush_threshold.is_some() && !self.aggregation.is_aggregating() {
+            return Err(CwsError::InvalidParameter {
+                name: "flush_threshold",
+                message: "a flush threshold is only meaningful with an aggregation stage \
+                          (PipelineBuilder::aggregation(SumByKey | MaxByKey))"
+                    .to_string(),
+            });
+        }
+        let config = SummaryConfig::try_new(self.k, self.family, self.mode, self.seed)?;
+        let backend = match (self.layout, self.execution) {
+            (Layout::Colocated, Execution::Sequential) => {
+                Backend::Colocated(ColocatedStreamSampler::new(config, assignments))
+            }
+            (Layout::Colocated, Execution::Sharded(_)) => {
+                return Err(CwsError::InvalidParameter {
+                    name: "execution",
+                    message: "sharded execution requires the dispersed layout \
+                              (colocated summaries retain cross-assignment state)"
+                        .to_string(),
+                });
+            }
+            (Layout::Dispersed, execution) => {
+                if self.mode == CoordinationMode::IndependentDifferences {
+                    return Err(CwsError::InvalidParameter {
+                        name: "coordination",
+                        message: "independent-differences ranks cannot be realized in the \
+                                  dispersed layout; use the colocated layout"
+                            .to_string(),
+                    });
+                }
+                match execution {
+                    Execution::Sequential => {
+                        Backend::HashOnce(MultiAssignmentStreamSampler::new(config, assignments))
+                    }
+                    Execution::Sharded(0) => {
+                        return Err(CwsError::InvalidParameter {
+                            name: "execution",
+                            message: "at least one shard is required".to_string(),
+                        });
+                    }
+                    Execution::Sharded(shards) => {
+                        Backend::Sharded(ShardedDispersedSampler::new(config, assignments, shards))
+                    }
+                }
+            }
+        };
+        let aggregator = if self.aggregation.is_aggregating() {
+            Some(KeyAggregator::new(self.aggregation, assignments, self.seed))
+        } else {
+            None
+        };
+        Ok(Pipeline { backend, aggregator, flush_threshold: self.flush_threshold })
+    }
+}
+
+/// The selected sampling back-end (an implementation detail of
+/// [`Pipeline`]; every variant implements [`Ingest`]).
+enum Backend {
+    Colocated(ColocatedStreamSampler),
+    HashOnce(MultiAssignmentStreamSampler),
+    Sharded(ShardedDispersedSampler),
+}
+
+macro_rules! for_backend {
+    ($backend:expr, $sampler:ident => $body:expr) => {
+        match $backend {
+            Backend::Colocated($sampler) => $body,
+            Backend::HashOnce($sampler) => $body,
+            Backend::Sharded($sampler) => $body,
+        }
+    };
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Colocated(_) => f.write_str("Colocated"),
+            Backend::HashOnce(_) => f.write_str("HashOnce"),
+            Backend::Sharded(sampler) => write!(f, "Sharded({})", sampler.num_shards()),
+        }
+    }
+}
+
+/// The unified ingestion-and-summarization engine.
+///
+/// Construct with [`Pipeline::builder`]; feed it through the [`Ingest`]
+/// surface (aggregated record streams) or [`Pipeline::push_element`]
+/// (unaggregated element streams, when an [`Aggregation`] stage is
+/// configured); [`Pipeline::finalize`] drains the aggregation stage into
+/// the back-end and returns the layout's [`Summary`], ready for
+/// [`Query`](crate::Query) evaluation.
+#[derive(Debug)]
+pub struct Pipeline {
+    backend: Backend,
+    aggregator: Option<KeyAggregator>,
+    flush_threshold: Option<usize>,
+}
+
+impl Pipeline {
+    /// Starts a builder with the defaults documented on
+    /// [`PipelineBuilder`]'s methods.
+    #[must_use]
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// `true` when a pre-aggregation stage is configured (the pipeline
+    /// accepts [`Pipeline::push_element`] and repeated keys).
+    #[must_use]
+    pub fn is_aggregating(&self) -> bool {
+        self.aggregator.is_some()
+    }
+
+    /// Absorbs one unaggregated element: a fragment of `key`'s weight under
+    /// `assignment`. Requires a [`SumByKey` / `MaxByKey`](Aggregation)
+    /// stage.
+    ///
+    /// # Errors
+    /// Returns a typed error when no aggregation stage is configured, the
+    /// assignment is out of range, or the weight is NaN, infinite or
+    /// negative.
+    #[inline]
+    pub fn push_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        match &mut self.aggregator {
+            Some(aggregator) => aggregator.absorb_element(key, assignment, weight),
+            None => Err(CwsError::InvalidParameter {
+                name: "aggregation",
+                message: "push_element requires an aggregation stage \
+                          (PipelineBuilder::aggregation(SumByKey | MaxByKey))"
+                    .to_string(),
+            }),
+        }
+    }
+
+    /// Absorbs a batch of unaggregated elements — bit-identical to pushing
+    /// each element through [`Pipeline::push_element`] in order, but the
+    /// aggregation table resolves all keys in one tight probe pass before
+    /// combining any weight, which is substantially faster on large
+    /// streams (see [`KeyAggregator::absorb_elements`]).
+    ///
+    /// # Errors
+    /// As [`Pipeline::push_element`]; the batch is validated before any of
+    /// it is absorbed.
+    pub fn push_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        match &mut self.aggregator {
+            Some(aggregator) => aggregator.absorb_elements(elements),
+            None => Err(CwsError::InvalidParameter {
+                name: "aggregation",
+                message: "push_elements requires an aggregation stage \
+                          (PipelineBuilder::aggregation(SumByKey | MaxByKey))"
+                    .to_string(),
+            }),
+        }
+    }
+
+    /// Drains the aggregation stage into the back-end: one zero-copy batch
+    /// by default, `flush_threshold`-sized copies otherwise.
+    fn drain_aggregator(&mut self) -> Result<()> {
+        let Some(aggregator) = self.aggregator.take() else {
+            return Ok(());
+        };
+        let columns = aggregator.into_columns();
+        match self.flush_threshold {
+            Some(threshold) if threshold < columns.len() => {
+                let mut batch = RecordColumns::with_capacity(columns.num_assignments(), threshold);
+                let mut start = 0;
+                while start < columns.len() {
+                    let len = threshold.min(columns.len() - start);
+                    batch.extend_from(&columns, start, len);
+                    for_backend!(&mut self.backend, sampler => sampler.push_columns(&batch))?;
+                    batch.clear();
+                    start += len;
+                }
+            }
+            _ => {
+                let shared = Arc::new(columns);
+                for_backend!(&mut self.backend, sampler => {
+                    Ingest::push_columns_shared(sampler, &shared)
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Ingest for Pipeline {
+    fn num_assignments(&self) -> usize {
+        for_backend!(&self.backend, sampler => Ingest::num_assignments(sampler))
+    }
+
+    /// With an aggregation stage, progress counts accepted fragments
+    /// (elements and record-shaped fragments); without one, accepted
+    /// records.
+    fn processed(&self) -> u64 {
+        match &self.aggregator {
+            Some(aggregator) => aggregator.absorbed(),
+            None => for_backend!(&self.backend, sampler => Ingest::processed(sampler)),
+        }
+    }
+
+    fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        match &mut self.aggregator {
+            Some(aggregator) => aggregator.absorb_record(key, weights),
+            None => {
+                for_backend!(&mut self.backend, sampler => Ingest::push_record(sampler, key, weights))
+            }
+        }
+    }
+
+    fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        match &mut self.aggregator {
+            Some(aggregator) => aggregator.absorb_columns(columns),
+            None => {
+                for_backend!(&mut self.backend, sampler => Ingest::push_columns(sampler, columns))
+            }
+        }
+    }
+
+    fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        match &mut self.aggregator {
+            Some(aggregator) => aggregator.absorb_columns(columns),
+            None => for_backend!(&mut self.backend, sampler => {
+                Ingest::push_columns_shared(sampler, columns)
+            }),
+        }
+    }
+
+    fn finalize(mut self) -> Result<Summary> {
+        self.drain_aggregator()?;
+        for_backend!(self.backend, sampler => Ingest::finalize(sampler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PipelineBuilder {
+        Pipeline::builder().assignments(2).k(8)
+    }
+
+    #[test]
+    fn builder_validation_returns_typed_errors() {
+        let missing = Pipeline::builder().build().unwrap_err();
+        assert!(matches!(missing, CwsError::InvalidParameter { name: "assignments", .. }));
+        assert!(base().assignments(0).build().is_err());
+        assert!(matches!(base().k(0).build(), Err(CwsError::InvalidParameter { name: "k", .. })));
+        assert!(base()
+            .rank(RankFamily::Ipps)
+            .coordination(CoordinationMode::IndependentDifferences)
+            .build()
+            .is_err());
+        assert!(matches!(
+            base()
+                .layout(Layout::Dispersed)
+                .rank(RankFamily::Exp)
+                .coordination(CoordinationMode::IndependentDifferences)
+                .build(),
+            Err(CwsError::InvalidParameter { name: "coordination", .. })
+        ));
+        assert!(matches!(
+            base().execution(Execution::Sharded(2)).build(),
+            Err(CwsError::InvalidParameter { name: "execution", .. })
+        ));
+        assert!(matches!(
+            base().layout(Layout::Dispersed).execution(Execution::Sharded(0)).build(),
+            Err(CwsError::InvalidParameter { name: "execution", .. })
+        ));
+        assert!(matches!(
+            base().aggregation(Aggregation::SumByKey).flush_threshold(0).build(),
+            Err(CwsError::InvalidParameter { name: "flush_threshold", .. })
+        ));
+        // A flush threshold without an aggregation stage would be silently
+        // dead configuration — rejected like every other invalid combo.
+        assert!(matches!(
+            base().flush_threshold(1000).build(),
+            Err(CwsError::InvalidParameter { name: "flush_threshold", .. })
+        ));
+    }
+
+    #[test]
+    fn push_element_requires_an_aggregation_stage() {
+        let mut pipeline = base().build().unwrap();
+        assert!(!pipeline.is_aggregating());
+        assert!(matches!(
+            pipeline.push_element(1, 0, 1.0),
+            Err(CwsError::InvalidParameter { name: "aggregation", .. })
+        ));
+        assert!(matches!(
+            pipeline.push_elements(&[(1, 0, 1.0)]),
+            Err(CwsError::InvalidParameter { name: "aggregation", .. })
+        ));
+        let mut pipeline = base().aggregation(Aggregation::SumByKey).build().unwrap();
+        assert!(pipeline.is_aggregating());
+        pipeline.push_element(1, 0, 1.0).unwrap();
+        pipeline.push_elements(&[(1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        assert_eq!(pipeline.processed(), 3);
+    }
+
+    #[test]
+    fn every_valid_backend_combination_builds() {
+        for layout in [Layout::Colocated, Layout::Dispersed] {
+            for aggregation in
+                [Aggregation::PreAggregated, Aggregation::SumByKey, Aggregation::MaxByKey]
+            {
+                let mut executions = vec![Execution::Sequential];
+                if layout == Layout::Dispersed {
+                    executions.push(Execution::Sharded(2));
+                }
+                for execution in executions {
+                    let mut pipeline = base()
+                        .layout(layout)
+                        .execution(execution)
+                        .aggregation(aggregation)
+                        .build()
+                        .unwrap();
+                    pipeline.push_record(1, &[1.0, 2.0]).unwrap();
+                    let summary = pipeline.finalize().unwrap();
+                    assert_eq!(summary.num_assignments(), 2);
+                    match layout {
+                        Layout::Colocated => assert!(summary.as_colocated().is_some()),
+                        Layout::Dispersed => assert!(summary.as_dispersed().is_some()),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! One query language over both summary layouts.
+//!
+//! The estimator types of `cws-core` grew diverging method sets — the
+//! colocated [`InclusiveEstimator`] takes aggregate enums and custom
+//! closures, the [`DispersedEstimator`] takes per-method assignment slices
+//! plus a selection kind. [`Query`] is the single description of an
+//! estimation request: *what* to estimate (the aggregate), *over which
+//! keys* (an a-posteriori filter predicate), and *how* to select evidence
+//! on dispersed summaries (the s-set / l-set rule). Evaluation dispatches
+//! on the summary layout and returns a typed [`Estimate`].
+
+use std::fmt;
+
+use cws_core::aggregates::AggregateFn;
+use cws_core::estimate::adjusted::AdjustedWeights;
+use cws_core::{DispersedEstimator, InclusiveEstimator, Key, Result, SelectionKind};
+
+use crate::summary::Summary;
+
+/// The outcome of evaluating a [`Query`] against a [`Summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The unbiased estimate of `Σ_{i : filter(i)} f(i)`.
+    pub value: f64,
+    /// Number of sampled keys that contributed to the estimate (positive
+    /// adjusted weight and passing the filter) — a direct sense of how much
+    /// evidence backs the number.
+    pub observed_keys: usize,
+}
+
+/// A declarative aggregate query, evaluated uniformly against colocated and
+/// dispersed summaries.
+///
+/// ```
+/// use cws_engine::prelude::*;
+/// use cws_core::{CoordinationMode, RankFamily, SelectionKind};
+///
+/// let mut pipeline = Pipeline::builder()
+///     .assignments(3)
+///     .k(128)
+///     .layout(Layout::Dispersed)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// for key in 0u64..5000 {
+///     let weights = [((key % 11) + 1) as f64, ((key % 7) + 1) as f64, (key % 3) as f64];
+///     pipeline.push_record(key, &weights).unwrap();
+/// }
+/// let summary = pipeline.finalize().unwrap();
+///
+/// // A-posteriori: the L1 change between assignments 0 and 2, restricted
+/// // to even keys, with the most inclusive (l-set) selection.
+/// let query = Query::l1([0, 2]).selection(SelectionKind::LSet).filter(|key| key % 2 == 0);
+/// let estimate = summary.query(&query).unwrap();
+/// assert!(estimate.value > 0.0);
+/// assert!(estimate.observed_keys > 0);
+/// ```
+pub struct Query {
+    aggregate: AggregateFn,
+    selection: SelectionKind,
+    filter: Option<Box<dyn Fn(Key) -> bool>>,
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Query")
+            .field("aggregate", &self.aggregate)
+            .field("selection", &self.selection)
+            .field("filter", &self.filter.as_ref().map(|_| "<predicate>"))
+            .finish()
+    }
+}
+
+impl Query {
+    fn new(aggregate: AggregateFn) -> Self {
+        Self { aggregate, selection: SelectionKind::LSet, filter: None }
+    }
+
+    /// The single-assignment sum `Σ w^(b)(i)`.
+    #[must_use]
+    pub fn single(assignment: usize) -> Self {
+        Self::new(AggregateFn::SingleAssignment(assignment))
+    }
+
+    /// The max-dominance aggregate `Σ max_{b ∈ R} w^(b)(i)`.
+    #[must_use]
+    pub fn max<R: IntoIterator<Item = usize>>(assignments: R) -> Self {
+        Self::new(AggregateFn::Max(assignments.into_iter().collect()))
+    }
+
+    /// The min-dominance aggregate `Σ min_{b ∈ R} w^(b)(i)`.
+    #[must_use]
+    pub fn min<R: IntoIterator<Item = usize>>(assignments: R) -> Self {
+        Self::new(AggregateFn::Min(assignments.into_iter().collect()))
+    }
+
+    /// The L1 / range aggregate `Σ (max_R − min_R)`.
+    #[must_use]
+    pub fn l1<R: IntoIterator<Item = usize>>(assignments: R) -> Self {
+        Self::new(AggregateFn::L1(assignments.into_iter().collect()))
+    }
+
+    /// The ℓ-th-largest-weight aggregate (1-based; `ell = 1` is the max,
+    /// `ell = |R|` the min; the median is a special case).
+    #[must_use]
+    pub fn lth_largest<R: IntoIterator<Item = usize>>(assignments: R, ell: usize) -> Self {
+        Self::new(AggregateFn::LthLargest { assignments: assignments.into_iter().collect(), ell })
+    }
+
+    /// Restricts the estimate to keys satisfying `predicate` — the
+    /// a-posteriori subpopulation selection that coordinated summaries
+    /// exist for. Without a filter the full population is estimated.
+    #[must_use]
+    pub fn filter<P: Fn(Key) -> bool + 'static>(mut self, predicate: P) -> Self {
+        self.filter = Some(Box::new(predicate));
+        self
+    }
+
+    /// Selection rule for dispersed summaries (default
+    /// [`SelectionKind::LSet`], the most inclusive). Colocated summaries
+    /// ignore this: their inclusive estimator already conditions on the
+    /// most inclusive selection possible.
+    #[must_use]
+    pub fn selection(mut self, kind: SelectionKind) -> Self {
+        self.selection = kind;
+        self
+    }
+
+    /// The aggregate this query estimates.
+    #[must_use]
+    pub fn aggregate(&self) -> &AggregateFn {
+        &self.aggregate
+    }
+
+    /// The adjusted-weight summary behind the estimate — per-key values for
+    /// callers that need more than the scalar (per-key drill-down, ratio
+    /// estimates). The filter is *not* applied here; adjusted weights cover
+    /// every sampled key so any number of subpopulations can be read off
+    /// one evaluation.
+    ///
+    /// # Errors
+    /// Returns a typed error for out-of-range or duplicate assignments, an
+    /// empty relevant set, an invalid ℓ, or an aggregate the summary's
+    /// coordination mode cannot support (e.g. `max` over independent
+    /// dispersed sketches).
+    pub fn adjusted_weights(&self, summary: &Summary) -> Result<AdjustedWeights> {
+        match summary {
+            Summary::Colocated(colocated) => {
+                InclusiveEstimator::new(colocated).aggregate(&self.aggregate)
+            }
+            Summary::Dispersed(dispersed) => {
+                let estimator = DispersedEstimator::new(dispersed);
+                match &self.aggregate {
+                    AggregateFn::SingleAssignment(b) => estimator.single(*b),
+                    AggregateFn::Max(r) => estimator.max(r),
+                    AggregateFn::Min(r) => estimator.min(r, self.selection),
+                    AggregateFn::L1(r) => estimator.l1(r, self.selection),
+                    AggregateFn::LthLargest { assignments, ell } => {
+                        estimator.lth_largest(assignments, *ell, self.selection)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates the query: adjusted weights, then the filtered total.
+    ///
+    /// # Errors
+    /// As [`Query::adjusted_weights`].
+    pub fn evaluate(&self, summary: &Summary) -> Result<Estimate> {
+        let adjusted = self.adjusted_weights(summary)?;
+        let (value, observed_keys) = match &self.filter {
+            Some(predicate) => adjusted
+                .iter()
+                .filter(|&(key, _)| predicate(key))
+                .fold((0.0, 0), |(total, count), (_, weight)| (total + weight, count + 1)),
+            None => (adjusted.total(), adjusted.len()),
+        };
+        Ok(Estimate { value, observed_keys })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::aggregates::exact_aggregate;
+    use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+    use cws_core::{CoordinationMode, CwsError, MultiWeighted, RankFamily};
+
+    fn fixture() -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(3);
+        for key in 0..400u64 {
+            builder.add(key, 0, ((key % 19) + 1) as f64);
+            builder.add(key, 1, if key % 5 == 0 { 0.0 } else { ((key % 13) + 2) as f64 });
+            builder.add(key, 2, ((key % 7) * 2) as f64);
+        }
+        builder.build()
+    }
+
+    fn summaries(k: usize, seed: u64) -> (Summary, Summary) {
+        let data = fixture();
+        let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, seed);
+        (
+            Summary::Colocated(ColocatedSummary::build(&data, &config)),
+            Summary::Dispersed(DispersedSummary::build(&data, &config)),
+        )
+    }
+
+    #[test]
+    fn queries_evaluate_against_both_layouts() {
+        let (colocated, dispersed) = summaries(60, 3);
+        let data = fixture();
+        let queries = [
+            (Query::single(0), AggregateFn::SingleAssignment(0)),
+            (Query::max([0, 1, 2]), AggregateFn::Max(vec![0, 1, 2])),
+            (Query::min([0, 1, 2]), AggregateFn::Min(vec![0, 1, 2])),
+            (Query::l1([0, 2]), AggregateFn::L1(vec![0, 2])),
+            (
+                Query::lth_largest([0, 1, 2], 2),
+                AggregateFn::LthLargest { assignments: vec![0, 1, 2], ell: 2 },
+            ),
+        ];
+        for (query, aggregate) in queries {
+            let exact = exact_aggregate(&data, &aggregate, |_| true);
+            for summary in [&colocated, &dispersed] {
+                let estimate = summary.query(&query).unwrap();
+                assert!(estimate.observed_keys > 0);
+                assert!(
+                    (estimate.value - exact).abs() <= exact.max(1.0) * 0.6,
+                    "{aggregate:?}: {} vs exact {exact}",
+                    estimate.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_matches_manual_subset_total() {
+        let (colocated, dispersed) = summaries(50, 9);
+        for summary in [&colocated, &dispersed] {
+            let query = Query::single(0);
+            let all = summary.query(&query).unwrap();
+            let filtered = summary.query(&Query::single(0).filter(|key| key % 2 == 0)).unwrap();
+            let manual = query.adjusted_weights(summary).unwrap().subset_total(|key| key % 2 == 0);
+            assert_eq!(filtered.value, manual);
+            assert!(filtered.value <= all.value);
+            assert!(filtered.observed_keys <= all.observed_keys);
+        }
+    }
+
+    #[test]
+    fn selection_kind_reaches_the_dispersed_estimator() {
+        let (_, dispersed) = summaries(40, 11);
+        let l_set = dispersed.query(&Query::min([0, 1]).selection(SelectionKind::LSet)).unwrap();
+        let s_set = dispersed.query(&Query::min([0, 1]).selection(SelectionKind::SSet)).unwrap();
+        // The l-set selection is strictly more inclusive.
+        assert!(l_set.observed_keys >= s_set.observed_keys);
+    }
+
+    #[test]
+    fn error_paths_are_typed() {
+        let (colocated, dispersed) = summaries(20, 1);
+        for summary in [&colocated, &dispersed] {
+            assert!(matches!(
+                summary.query(&Query::single(9)),
+                Err(CwsError::AssignmentOutOfRange { index: 9, .. })
+            ));
+            assert!(summary.query(&Query::max(std::iter::empty())).is_err());
+            assert!(summary.query(&Query::lth_largest([0, 1], 5)).is_err());
+        }
+        // Independent dispersed sketches cannot support max.
+        let data = fixture();
+        let independent = Summary::Dispersed(DispersedSummary::build(
+            &data,
+            &SummaryConfig::new(20, RankFamily::Ipps, CoordinationMode::Independent, 1),
+        ));
+        assert!(matches!(
+            independent.query(&Query::max([0, 1])),
+            Err(CwsError::UnsupportedEstimator { .. })
+        ));
+        assert!(independent.query(&Query::min([0, 1])).is_ok());
+    }
+
+    #[test]
+    fn debug_formatting_is_informative() {
+        let text = format!("{:?}", Query::l1([0, 2]).filter(|_| true));
+        assert!(text.contains("L1"), "{text}");
+        assert!(text.contains("predicate"), "{text}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The unified summary type every [`Ingest`](crate::Ingest) back-end
+//! finalizes into.
+
+use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+use cws_core::{CoordinationMode, RankFamily, Result};
+
+use crate::query::{Estimate, Query};
+
+/// A finalized coordinated summary in either of the paper's two layouts.
+///
+/// The colocated layout (Section 6) stores the full weight vector of every
+/// retained key and supports the inclusive estimators; the dispersed layout
+/// (Section 7) stores one bottom-k sketch per assignment, each entry
+/// carrying only its own assignment's weight. [`Query`] evaluates uniformly
+/// against both — layout selection is a [`Pipeline`](crate::Pipeline)
+/// configuration detail, not a query-time concern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Summary {
+    /// A colocated summary: full weight vectors, inclusive estimators.
+    Colocated(ColocatedSummary),
+    /// A dispersed summary: per-assignment sketches, s-set/l-set estimators.
+    Dispersed(DispersedSummary),
+}
+
+impl Summary {
+    /// The configuration the summary was built with.
+    #[must_use]
+    pub fn config(&self) -> &SummaryConfig {
+        match self {
+            Summary::Colocated(summary) => summary.config(),
+            Summary::Dispersed(summary) => summary.config(),
+        }
+    }
+
+    /// Per-assignment sample size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.config().k
+    }
+
+    /// The rank distribution family.
+    #[must_use]
+    pub fn family(&self) -> RankFamily {
+        match self {
+            Summary::Colocated(summary) => summary.family(),
+            Summary::Dispersed(summary) => summary.family(),
+        }
+    }
+
+    /// The coordination mode across assignments.
+    #[must_use]
+    pub fn mode(&self) -> CoordinationMode {
+        match self {
+            Summary::Colocated(summary) => summary.mode(),
+            Summary::Dispersed(summary) => summary.mode(),
+        }
+    }
+
+    /// Number of weight assignments summarized.
+    #[must_use]
+    pub fn num_assignments(&self) -> usize {
+        match self {
+            Summary::Colocated(summary) => summary.num_assignments(),
+            Summary::Dispersed(summary) => summary.num_assignments(),
+        }
+    }
+
+    /// Number of distinct keys stored across the embedded samples.
+    #[must_use]
+    pub fn num_distinct_keys(&self) -> usize {
+        match self {
+            Summary::Colocated(summary) => summary.num_distinct_keys(),
+            Summary::Dispersed(summary) => summary.num_distinct_keys(),
+        }
+    }
+
+    /// The colocated summary, when this is one.
+    #[must_use]
+    pub fn as_colocated(&self) -> Option<&ColocatedSummary> {
+        match self {
+            Summary::Colocated(summary) => Some(summary),
+            Summary::Dispersed(_) => None,
+        }
+    }
+
+    /// The dispersed summary, when this is one.
+    #[must_use]
+    pub fn as_dispersed(&self) -> Option<&DispersedSummary> {
+        match self {
+            Summary::Colocated(_) => None,
+            Summary::Dispersed(summary) => Some(summary),
+        }
+    }
+
+    /// Evaluates a [`Query`] against this summary — the single entry point
+    /// for estimation, regardless of layout.
+    ///
+    /// # Errors
+    /// As [`Query::evaluate`].
+    pub fn query(&self, query: &Query) -> Result<Estimate> {
+        query.evaluate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cws_core::MultiWeighted;
+
+    fn fixture() -> MultiWeighted {
+        let mut builder = MultiWeighted::builder(2);
+        for key in 0..200u64 {
+            builder.add(key, 0, ((key % 13) + 1) as f64);
+            builder.add(key, 1, ((key % 7) + 1) as f64);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn accessors_delegate_to_both_layouts() {
+        let data = fixture();
+        let config = SummaryConfig::new(16, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        let colocated = Summary::Colocated(ColocatedSummary::build(&data, &config));
+        let dispersed = Summary::Dispersed(DispersedSummary::build(&data, &config));
+        for summary in [&colocated, &dispersed] {
+            assert_eq!(summary.k(), 16);
+            assert_eq!(summary.family(), RankFamily::Ipps);
+            assert_eq!(summary.mode(), CoordinationMode::SharedSeed);
+            assert_eq!(summary.num_assignments(), 2);
+            assert!(summary.num_distinct_keys() >= 16);
+            assert_eq!(summary.config().seed, 1);
+        }
+        assert!(colocated.as_colocated().is_some() && colocated.as_dispersed().is_none());
+        assert!(dispersed.as_dispersed().is_some() && dispersed.as_colocated().is_none());
+    }
+}

@@ -77,7 +77,7 @@ impl BottomKStreamSampler {
     /// # Errors
     /// Returns an error on an invalid (NaN/infinite/negative) weight or an
     /// independent-differences generator. Each chunk of
-    /// [`COLUMN_CHUNK`] records is validated before any of it is offered,
+    /// `COLUMN_CHUNK` (1024) records is validated before any of it is offered,
     /// so on error the sampler still holds a correct sample of every record
     /// of the preceding chunks and nothing from the failing one; the stream
     /// should nevertheless be considered poisoned and re-run after repair.

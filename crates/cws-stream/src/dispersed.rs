@@ -1,5 +1,6 @@
 //! Dispersed multi-assignment stream sampling.
 
+use cws_core::columns::{first_invalid_weight, invalid_weight_error};
 use cws_core::error::Result;
 use cws_core::summary::{DispersedSummary, SummaryConfig};
 use cws_core::Key;
@@ -18,6 +19,7 @@ use crate::bottomk::BottomKStreamSampler;
 pub struct DispersedStreamSampler {
     config: SummaryConfig,
     samplers: Vec<BottomKStreamSampler>,
+    processed: u64,
 }
 
 impl DispersedStreamSampler {
@@ -37,7 +39,7 @@ impl DispersedStreamSampler {
         let samplers = (0..num_assignments)
             .map(|assignment| BottomKStreamSampler::new(generator, assignment, config.k))
             .collect();
-        Self { config, samplers }
+        Self { config, samplers, processed: 0 }
     }
 
     /// Number of assignments.
@@ -46,19 +48,57 @@ impl DispersedStreamSampler {
         self.samplers.len()
     }
 
+    /// Ingestion progress: the number of accepted push operations — one per
+    /// `(key, weight-vector)` record through
+    /// [`DispersedStreamSampler::push_record`], one per individual
+    /// `(assignment, key, weight)` observation through
+    /// [`DispersedStreamSampler::push`].
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
     /// Routes one `(assignment, key, weight)` record to its sampler.
     ///
     /// # Errors
-    /// Returns an error if `assignment` is out of range or the weight is
-    /// NaN, infinite or negative (validated by the underlying
-    /// [`BottomKStreamSampler::push`]).
+    /// Returns [`cws_core::CwsError::AssignmentOutOfRange`] if `assignment`
+    /// is not below the number of assignments, or an invalid-weight error if
+    /// the weight is NaN, infinite or negative (validated by the underlying
+    /// [`BottomKStreamSampler::push`]). A rejected observation does not
+    /// advance [`DispersedStreamSampler::processed`].
     pub fn push(&mut self, assignment: usize, key: Key, weight: f64) -> Result<()> {
         let available = self.samplers.len();
         let sampler = self
             .samplers
             .get_mut(assignment)
             .ok_or(cws_core::CwsError::AssignmentOutOfRange { index: assignment, available })?;
-        sampler.push(key, weight)
+        sampler.push(key, weight)?;
+        self.processed += 1;
+        Ok(())
+    }
+
+    /// Processes one record — a key with its full weight vector — by routing
+    /// each entry to its assignment's sampler. This is the record-shaped
+    /// alias every multi-assignment sampler offers; the resulting summary is
+    /// bit-identical to pushing each `(assignment, key, weight)` observation
+    /// through [`DispersedStreamSampler::push`].
+    ///
+    /// # Errors
+    /// Returns an error if any weight is NaN, infinite or negative; the
+    /// record is rejected whole (no assignment sees any part of it).
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the number of assignments.
+    pub fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        assert_eq!(weights.len(), self.samplers.len(), "weight vector arity mismatch");
+        if let Some(assignment) = first_invalid_weight(weights) {
+            return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
+        for (sampler, &weight) in self.samplers.iter_mut().zip(weights) {
+            sampler.push(key, weight)?;
+        }
+        self.processed += 1;
+        Ok(())
     }
 
     /// Finalizes all passes into a dispersed summary.
@@ -104,11 +144,56 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_assignment_is_an_error() {
+    fn out_of_range_assignment_is_a_typed_error_not_a_panic() {
         let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
         let mut sampler = DispersedStreamSampler::new(config, 2);
-        assert!(sampler.push(2, 1, 1.0).is_err());
+        assert!(matches!(
+            sampler.push(2, 1, 1.0),
+            Err(cws_core::CwsError::AssignmentOutOfRange { index: 2, available: 2 })
+        ));
+        assert!(matches!(
+            sampler.push(usize::MAX, 1, 1.0),
+            Err(cws_core::CwsError::AssignmentOutOfRange { index: usize::MAX, available: 2 })
+        ));
         assert_eq!(sampler.num_assignments(), 2);
+        // Rejected observations do not advance the progress counter, and the
+        // sampler remains usable afterwards.
+        assert_eq!(sampler.processed(), 0);
+        sampler.push(1, 1, 1.0).unwrap();
+        assert_eq!(sampler.processed(), 1);
+    }
+
+    #[test]
+    fn push_record_matches_per_observation_push_bit_for_bit() {
+        let data = fixture();
+        for mode in [CoordinationMode::SharedSeed, CoordinationMode::Independent] {
+            let config = SummaryConfig::new(30, RankFamily::Ipps, mode, 77);
+            let mut by_record = DispersedStreamSampler::new(config, 3);
+            let mut by_observation = DispersedStreamSampler::new(config, 3);
+            for (key, weights) in data.iter() {
+                by_record.push_record(key, weights).unwrap();
+                for (b, &weight) in weights.iter().enumerate() {
+                    by_observation.push(b, key, weight).unwrap();
+                }
+            }
+            assert_eq!(by_record.processed(), 800);
+            assert_eq!(by_observation.processed(), 800 * 3);
+            assert_eq!(by_record.finalize(), by_observation.finalize(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn push_record_rejects_invalid_weights_whole() {
+        let config = SummaryConfig::new(5, RankFamily::Ipps, CoordinationMode::SharedSeed, 1);
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let mut sampler = DispersedStreamSampler::new(config, 2);
+            let err = sampler.push_record(3, &[1.0, bad]).unwrap_err();
+            assert!(err.to_string().contains("assignment 1"), "{err}");
+            assert_eq!(sampler.processed(), 0);
+            // Assignment 0 must not have seen the rejected record's weight.
+            let summary = sampler.finalize();
+            assert_eq!(summary.num_distinct_keys(), 0);
+        }
     }
 
     #[test]

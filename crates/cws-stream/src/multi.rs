@@ -154,14 +154,14 @@ impl MultiAssignmentStreamSampler {
     /// [`MultiAssignmentStreamSampler::push_record`]: within one assignment
     /// the candidate set sees the exact same offers in the exact same order,
     /// and assignments never interact. The work is organized as column
-    /// kernels over [`COLUMN_CHUNK`]-record chunks:
+    /// kernels over `COLUMN_CHUNK` (1024)-record chunks:
     ///
     /// 1. validate the chunk's weight lanes (one branch-free reduction per
     ///    lane, while the lane is about to be hot anyway);
     /// 2. hash the chunk's keys once into a rank-numerator scratch lane
     ///    (shared-seed mode) or a pair-base lane fanned out per assignment
     ///    (independent mode);
-    /// 3. per assignment, run [`CandidateSet`]'s pre-filter scan over the
+    /// 3. per assignment, run the candidate set's pre-filter scan over the
     ///    contiguous weight lane with the threshold held in a register.
     ///
     /// # Errors

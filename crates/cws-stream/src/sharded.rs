@@ -288,7 +288,7 @@ impl ShardedDispersedSampler {
     ///
     /// # Errors
     /// Returns an error on a NaN, infinite or negative weight. Chunks of
-    /// [`COLUMN_CHUNK`](crate::bottomk::COLUMN_CHUNK) records are validated
+    /// `COLUMN_CHUNK` (1024) records are validated
     /// before being partitioned, so nothing of the failing chunk reaches a
     /// worker.
     ///

@@ -1,15 +1,19 @@
-//! Network-monitoring scenario (dispersed weights).
+//! Network-monitoring scenario (dispersed weights, unaggregated input).
 //!
 //! Hourly summaries of router traffic are collected independently — each
 //! hour's collector samples its own flow records and only shares a hash seed
-//! with the other hours. Later, an operator asks change-detection questions
-//! such as "how much did the traffic of destinations in this suspicious
-//! subnet change between hour 1 and hour 4?", which the coordinated samples
-//! answer without ever collating the raw data.
+//! with the other hours. Flows arrive *unaggregated* (a flow's bytes come
+//! packet batch by packet batch), so the pipeline runs a `SumByKey`
+//! aggregation stage in front of the sharded sampler. Later, an operator
+//! asks change-detection questions such as "how much did the traffic of
+//! destinations in this suspicious subnet change between hour 1 and
+//! hour 4?", which the coordinated samples answer without ever collating
+//! the raw data.
 //!
 //! Run with: `cargo run --release --example network_monitoring`
 
 use coordinated_sampling::data::ip::{IpAttribute, IpKey, IpTrace, IpTraceConfig};
+use coordinated_sampling::data::synthetic::element_stream;
 use coordinated_sampling::prelude::*;
 
 fn main() {
@@ -24,22 +28,37 @@ fn main() {
     });
     let view = trace.dispersed(IpKey::DestIp, IpAttribute::Bytes);
     let data = &view.data;
+    // Shred the aggregated per-destination byte counts back into raw
+    // observations: 2–5 packet batches per (destination, hour), interleaved
+    // — the shape a collector actually sees.
+    let packets = element_stream(&data.to_columns(), 2, 5, 0xBEEF);
     println!(
-        "{}: {} destinations, {} hourly assignments",
+        "{}: {} destinations, {} hourly assignments, {} raw packet batches",
         view.name,
         data.num_keys(),
-        data.num_assignments()
+        data.num_assignments(),
+        packets.len()
     );
 
-    // Each hour is summarized by its own single-pass bottom-k sampler.
-    let config = SummaryConfig::new(512, RankFamily::Ipps, CoordinationMode::SharedSeed, 0xC0FE);
-    let mut collectors = DispersedStreamSampler::new(config, data.num_assignments());
-    for (key, weights) in data.iter() {
-        for (hour, &bytes) in weights.iter().enumerate() {
-            collectors.push(hour, key, bytes).unwrap();
-        }
+    // One pipeline: SumByKey aggregation → sharded hash-once sampling →
+    // one coordinated bottom-k sketch per hour (k = 512).
+    let mut pipeline = Pipeline::builder()
+        .assignments(data.num_assignments())
+        .k(512)
+        .rank(RankFamily::Ipps)
+        .coordination(CoordinationMode::SharedSeed)
+        .layout(Layout::Dispersed)
+        .execution(Execution::Sharded(2))
+        .aggregation(Aggregation::SumByKey)
+        .seed(0xC0FE)
+        .build()
+        .expect("valid configuration");
+    // Collectors hand observations over in batches; `push_elements`
+    // resolves each batch's aggregation slots in one pass.
+    for batch in packets.chunks(4096) {
+        pipeline.push_elements(batch).expect("valid observations");
     }
-    let summary = collectors.finalize();
+    let summary = pipeline.finalize().expect("workers joined cleanly");
     println!(
         "combined summary holds {} distinct destinations ({} per hour embedded)",
         summary.num_distinct_keys(),
@@ -49,49 +68,42 @@ fn main() {
     // A-posteriori query: destinations in a "suspicious" group (here: a slice
     // of the hashed key space, standing in for a subnet or customer prefix).
     let suspicious = |key: Key| key % 16 < 3;
-    let estimator = DispersedEstimator::new(&summary);
     let hours = [0usize, 1, 2, 3];
 
-    let queries: Vec<(&str, f64, f64)> = vec![
-        (
-            "hour-1 bytes",
-            estimator.single(0).unwrap().subset_total(suspicious),
-            exact_aggregate(data, &AggregateFn::SingleAssignment(0), suspicious),
-        ),
-        (
-            "4-hour max-dominance",
-            estimator.max(&hours).unwrap().subset_total(suspicious),
-            exact_aggregate(data, &AggregateFn::Max(hours.to_vec()), suspicious),
-        ),
-        (
-            "4-hour min-dominance",
-            estimator.min(&hours, SelectionKind::LSet).unwrap().subset_total(suspicious),
-            exact_aggregate(data, &AggregateFn::Min(hours.to_vec()), suspicious),
-        ),
-        (
-            "hour-1 vs hour-4 L1 change",
-            estimator.l1(&[0, 3], SelectionKind::LSet).unwrap().subset_total(suspicious),
-            exact_aggregate(data, &AggregateFn::L1(vec![0, 3]), suspicious),
-        ),
+    let queries: Vec<(&str, Query, AggregateFn)> = vec![
+        ("hour-1 bytes", Query::single(0), AggregateFn::SingleAssignment(0)),
+        ("4-hour max-dominance", Query::max(hours), AggregateFn::Max(hours.to_vec())),
+        ("4-hour min-dominance", Query::min(hours), AggregateFn::Min(hours.to_vec())),
+        ("hour-1 vs hour-4 L1 change", Query::l1([0, 3]), AggregateFn::L1(vec![0, 3])),
     ];
     println!("\nsuspicious-subnet queries (estimate vs exact):");
-    for (name, estimate, exact) in queries {
-        let error = if exact > 0.0 { 100.0 * (estimate - exact).abs() / exact } else { 0.0 };
-        println!("  {name:<28} {estimate:>14.0}  vs {exact:>14.0}   ({error:.1}% off)");
+    for (name, query, aggregate) in queries {
+        let estimate = summary.query(&query.filter(suspicious)).unwrap();
+        let exact = exact_aggregate(data, &aggregate, suspicious);
+        let error = if exact > 0.0 { 100.0 * (estimate.value - exact).abs() / exact } else { 0.0 };
+        println!(
+            "  {name:<28} {:>14.0}  vs {exact:>14.0}   ({error:.1}% off, {} keys observed)",
+            estimate.value, estimate.observed_keys
+        );
     }
 
     // Show why coordination matters: the same estimate from independent
-    // (non-coordinated) per-hour samples.
-    let independent_config =
-        SummaryConfig::new(512, RankFamily::Ipps, CoordinationMode::Independent, 0xC0FE);
-    let independent = DispersedSummary::build(data, &independent_config);
-    let naive = DispersedEstimator::new(&independent)
-        .min(&hours, SelectionKind::LSet)
-        .unwrap()
-        .subset_total(suspicious);
+    // (non-coordinated) per-hour samples — only the builder line changes.
+    let mut independent = Pipeline::builder()
+        .assignments(data.num_assignments())
+        .k(512)
+        .coordination(CoordinationMode::Independent)
+        .layout(Layout::Dispersed)
+        .seed(0xC0FE)
+        .build()
+        .unwrap();
+    independent.push_batch(data.iter()).unwrap();
+    let independent = independent.finalize().unwrap();
+    let naive = independent.query(&Query::min(hours).filter(suspicious)).unwrap();
     let exact = exact_aggregate(data, &AggregateFn::Min(hours.to_vec()), suspicious);
     println!(
-        "\nwithout coordination the 4-hour min estimate is {naive:.0} (exact {exact:.0}) — \
-         independent samples rarely agree on the keys they keep."
+        "\nwithout coordination the 4-hour min estimate is {:.0} (exact {exact:.0}) — \
+         independent samples rarely agree on the keys they keep.",
+        naive.value
     );
 }

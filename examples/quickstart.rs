@@ -1,5 +1,5 @@
-//! Quickstart: summarize a small multi-assignment data set and answer
-//! a-posteriori subpopulation queries from the summary.
+//! Quickstart: one `Pipeline`, one `Query` — summarize a multi-assignment
+//! data set and answer a-posteriori subpopulation queries from the summary.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -10,46 +10,78 @@ fn main() {
     // three consecutive hours), heavy-tailed and correlated across hours.
     let data = correlated_zipf(10_000, 3, 1.2, 0.85, 0.2, 7);
 
-    // Build a coordinated colocated summary with 256 keys embedded per
-    // assignment (shared-seed IPPS ranks = coordinated priority samples).
-    let config = SummaryConfig::new(256, RankFamily::Ipps, CoordinationMode::SharedSeed, 42);
-    let summary = ColocatedSummary::build(&data, &config);
+    // One builder configures everything: coordinated (shared-seed IPPS =
+    // coordinated priority samples) colocated summary, 256 keys embedded
+    // per assignment.
+    let mut pipeline = Pipeline::builder()
+        .assignments(3)
+        .k(256)
+        .rank(RankFamily::Ipps)
+        .coordination(CoordinationMode::SharedSeed)
+        .layout(Layout::Colocated)
+        .seed(42)
+        .build()
+        .expect("valid configuration");
+    pipeline.push_batch(data.iter()).expect("valid weights");
+    let summary = pipeline.finalize().expect("single-threaded ingestion cannot fail");
     println!(
-        "summary stores {} distinct keys for {} assignments (sharing index {:.2})",
+        "summary stores {} distinct keys for {} assignments",
         summary.num_distinct_keys(),
-        summary.num_assignments(),
-        summary.sharing_index()
+        summary.num_assignments()
     );
 
     // Estimate aggregates for a subpopulation chosen only now: keys whose id
     // is divisible by 7 (in a real application: flows of one customer,
-    // movies of one genre, ...).
+    // movies of one genre, ...). One query type covers every aggregate.
     let subpopulation = |key: Key| key % 7 == 0;
-    let estimator = InclusiveEstimator::new(&summary);
 
-    let estimated_total = estimator.single(0).unwrap().subset_total(subpopulation);
-    let exact_total = exact_aggregate(&data, &AggregateFn::SingleAssignment(0), subpopulation);
-    println!("hour-0 volume      estimate {estimated_total:>12.1}   exact {exact_total:>12.1}");
+    let volume = summary.query(&Query::single(0).filter(subpopulation)).unwrap();
+    let exact_volume = exact_aggregate(&data, &AggregateFn::SingleAssignment(0), subpopulation);
+    println!(
+        "hour-0 volume      estimate {:>12.1}   exact {exact_volume:>12.1}   ({} keys observed)",
+        volume.value, volume.observed_keys
+    );
 
-    let estimated_l1 = estimator.l1(&[0, 2]).unwrap().subset_total(subpopulation);
+    let l1 = summary.query(&Query::l1([0, 2]).filter(subpopulation)).unwrap();
     let exact_l1 = exact_aggregate(&data, &AggregateFn::L1(vec![0, 2]), subpopulation);
-    println!("hour-0↔2 L1 change estimate {estimated_l1:>12.1}   exact {exact_l1:>12.1}");
+    println!("hour-0↔2 L1 change estimate {:>12.1}   exact {exact_l1:>12.1}", l1.value);
 
-    let estimated_min = estimator.min(&[0, 1, 2]).unwrap().subset_total(subpopulation);
+    let min = summary.query(&Query::min([0, 1, 2]).filter(subpopulation)).unwrap();
     let exact_min = exact_aggregate(&data, &AggregateFn::Min(vec![0, 1, 2]), subpopulation);
-    println!("3-hour min volume  estimate {estimated_min:>12.1}   exact {exact_min:>12.1}");
+    println!("3-hour min volume  estimate {:>12.1}   exact {exact_min:>12.1}", min.value);
 
-    // The same data in the dispersed model: each hour is sampled by its own
-    // pass that shares only the hash seed with the others.
-    let mut sampler = DispersedStreamSampler::new(config, data.num_assignments());
+    // The same engine in the dispersed model — only the layout changes, the
+    // ingestion surface and the queries stay identical.
+    let mut pipeline = Pipeline::builder()
+        .assignments(3)
+        .k(256)
+        .layout(Layout::Dispersed)
+        .seed(42)
+        .build()
+        .unwrap();
+    pipeline.push_batch(data.iter()).unwrap();
+    let dispersed = pipeline.finalize().unwrap();
+    let l1 = dispersed.query(&Query::l1([0, 2]).filter(subpopulation)).unwrap();
+    println!("dispersed L1       estimate {:>12.1}   exact {exact_l1:>12.1}", l1.value);
+
+    // Raw, unaggregated streams are first-class too: an aggregation stage
+    // sums per-key fragments (packets of a flow, events of a user) before
+    // sampling. Here every hour's weight arrives split in two.
+    let mut pipeline = Pipeline::builder()
+        .assignments(3)
+        .k(256)
+        .layout(Layout::Dispersed)
+        .aggregation(Aggregation::SumByKey)
+        .seed(42)
+        .build()
+        .unwrap();
     for (key, weights) in data.iter() {
         for (hour, &weight) in weights.iter().enumerate() {
-            sampler.push(hour, key, weight).unwrap();
+            pipeline.push_element(key, hour, weight * 0.5).unwrap();
+            pipeline.push_element(key, hour, weight * 0.5).unwrap();
         }
     }
-    let dispersed = sampler.finalize();
-    let estimator = DispersedEstimator::new(&dispersed);
-    let estimated_l1 =
-        estimator.l1(&[0, 2], SelectionKind::LSet).unwrap().subset_total(subpopulation);
-    println!("dispersed L1       estimate {estimated_l1:>12.1}   exact {exact_l1:>12.1}");
+    let aggregated = pipeline.finalize().unwrap();
+    assert_eq!(aggregated, dispersed, "pre-aggregation is bit-exact");
+    println!("element-stream ingestion (SumByKey) reproduced the summary bit-for-bit");
 }

@@ -1,4 +1,4 @@
-//! Ratings-drift scenario: many dispersed assignments.
+//! Ratings-drift scenario: many dispersed assignments, one query language.
 //!
 //! Monthly rating counts per movie arrive in twelve separate batches; each
 //! batch keeps its own bottom-k sample coordinated only through the shared
@@ -24,56 +24,64 @@ fn main() {
     let months: Vec<usize> = (0..view.num_assignments()).collect();
     println!("{} movies, {} monthly assignments", view.num_keys(), view.num_assignments());
 
-    let k = 400;
+    // Coordinated vs independent sketches: the builder line is the only
+    // difference — ingestion and queries are identical.
+    let exact = exact_aggregate(&view.data, &AggregateFn::Min(months.clone()), |_| true);
     for (label, mode) in [
         ("coordinated", CoordinationMode::SharedSeed),
         ("independent", CoordinationMode::Independent),
     ] {
-        let config = SummaryConfig::new(k, RankFamily::Ipps, mode, 0xF00D);
-        let summary = DispersedSummary::build(&view.data, &config);
-        let estimator = DispersedEstimator::new(&summary);
-        let min_estimate = estimator.min(&months, SelectionKind::LSet).unwrap().total();
-        let exact = exact_aggregate(&view.data, &AggregateFn::Min(months.clone()), |_| true);
+        let mut pipeline = Pipeline::builder()
+            .assignments(view.num_assignments())
+            .k(400)
+            .rank(RankFamily::Ipps)
+            .coordination(mode)
+            .layout(Layout::Dispersed)
+            .seed(0xF00D)
+            .build()
+            .expect("valid configuration");
+        pipeline.push_batch(view.data.iter()).expect("valid weights");
+        let summary = pipeline.finalize().unwrap();
+        let min = summary.query(&Query::min(months.clone())).unwrap();
         println!(
             "{label:>12} sketches ({} distinct movies stored): stable-audience estimate {:>10.0} \
-             (exact {:.0})",
+             (exact {exact:.0})",
             summary.num_distinct_keys(),
-            min_estimate,
-            exact
+            min.value
         );
     }
 
     // Full change-detection report from the coordinated summary.
-    let config = SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 0xF00D);
-    let summary = DispersedSummary::build(&view.data, &config);
-    let estimator = DispersedEstimator::new(&summary);
+    let mut pipeline = Pipeline::builder()
+        .assignments(view.num_assignments())
+        .k(400)
+        .layout(Layout::Dispersed)
+        .seed(0xF00D)
+        .build()
+        .unwrap();
+    pipeline.push_batch(view.data.iter()).unwrap();
+    let summary = pipeline.finalize().unwrap();
     // Subpopulation selected after the fact: the "long tail" (every movie
     // whose key is odd — in a real catalogue this would be a genre or studio).
     let tail = |key: Key| key % 2 == 1;
     println!("\nlong-tail catalogue, estimate vs exact:");
-    for (name, aggregate) in [
-        ("peak monthly audience (max)", AggregateFn::Max(months.clone())),
-        ("stable audience (min)", AggregateFn::Min(months.clone())),
-        ("yearly churn (L1)", AggregateFn::L1(months.clone())),
+    for (name, query, aggregate) in [
+        (
+            "peak monthly audience (max)",
+            Query::max(months.clone()),
+            AggregateFn::Max(months.clone()),
+        ),
+        ("stable audience (min)", Query::min(months.clone()), AggregateFn::Min(months.clone())),
+        ("yearly churn (L1)", Query::l1(months.clone()), AggregateFn::L1(months.clone())),
         (
             "median month (6th largest)",
+            Query::lth_largest(months.clone(), 6),
             AggregateFn::LthLargest { assignments: months.clone(), ell: 6 },
         ),
     ] {
         let exact = exact_aggregate(&view.data, &aggregate, tail);
-        let estimate = match &aggregate {
-            AggregateFn::Max(r) => estimator.max(r).unwrap().subset_total(tail),
-            AggregateFn::Min(r) => {
-                estimator.min(r, SelectionKind::LSet).unwrap().subset_total(tail)
-            }
-            AggregateFn::L1(r) => estimator.l1(r, SelectionKind::LSet).unwrap().subset_total(tail),
-            AggregateFn::LthLargest { assignments, ell } => estimator
-                .lth_largest(assignments, *ell, SelectionKind::LSet)
-                .unwrap()
-                .subset_total(tail),
-            AggregateFn::SingleAssignment(_) => unreachable!("not used in this example"),
-        };
-        let error = if exact > 0.0 { 100.0 * (estimate - exact).abs() / exact } else { 0.0 };
-        println!("  {name:<30} {estimate:>12.0}  vs {exact:>12.0}  ({error:.1}% off)");
+        let estimate = summary.query(&query.filter(tail)).unwrap();
+        let error = if exact > 0.0 { 100.0 * (estimate.value - exact).abs() / exact } else { 0.0 };
+        println!("  {name:<30} {:>12.0}  vs {exact:>12.0}  ({error:.1}% off)", estimate.value);
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! Each trading day a record with six numeric attributes (open, high, low,
 //! close, adjusted close, volume) is attached to every ticker. A single
-//! coordinated summary embeds a weighted sample per attribute while storing
-//! each retained ticker only once, and supports both per-attribute sums and
-//! cross-attribute aggregates. Weighted Jaccard similarity across days is
-//! estimated with coordinated k-mins sketches (Theorem 4.1).
+//! coordinated summary — built through the `Pipeline` facade — embeds a
+//! weighted sample per attribute while storing each retained ticker only
+//! once, and supports both per-attribute sums and cross-attribute
+//! aggregates. Weighted Jaccard similarity across days is estimated with
+//! coordinated k-mins sketches (Theorem 4.1).
 //!
 //! Run with: `cargo run --release --example stock_similarity`
 
@@ -23,23 +24,31 @@ fn main() {
 
     // --- Colocated summary of one trading day -----------------------------
     let day = stocks.colocated_day(0);
-    let config = SummaryConfig::new(256, RankFamily::Ipps, CoordinationMode::SharedSeed, 99);
-    let summary = ColocatedSummary::build(&day.data, &config);
+    let mut pipeline = Pipeline::builder()
+        .assignments(day.data.num_assignments())
+        .k(256)
+        .rank(RankFamily::Ipps)
+        .coordination(CoordinationMode::SharedSeed)
+        .layout(Layout::Colocated)
+        .seed(99)
+        .build()
+        .expect("valid configuration");
+    pipeline.push_columns(&day.data.to_columns()).expect("valid weights");
+    let summary = pipeline.finalize().unwrap();
     println!(
-        "day-1 summary: {} tickers retained for 6 embedded samples (sharing index {:.2})",
-        summary.num_distinct_keys(),
-        summary.sharing_index()
+        "day-1 summary: {} tickers retained for 6 embedded samples",
+        summary.num_distinct_keys()
     );
 
-    let estimator = InclusiveEstimator::new(&summary);
     let volume = day.assignment_named("volume").unwrap();
     let high = day.assignment_named("high").unwrap();
 
     // Estimate total traded volume of "penny stocks" (high price below 2):
-    // the predicate uses the weight vector of the retained records, so it can
-    // be evaluated per sampled key.
-    let adjusted_volume = estimator.single(volume).unwrap();
-    let penny_estimate: f64 = summary
+    // the colocated records carry full weight vectors, so the predicate can
+    // be evaluated per sampled key against another attribute.
+    let colocated = summary.as_colocated().expect("colocated layout");
+    let adjusted_volume = Query::single(volume).adjusted_weights(&summary).unwrap();
+    let penny_estimate: f64 = colocated
         .records()
         .iter()
         .filter(|record| record.weights[high] < 2.0)
@@ -53,9 +62,10 @@ fn main() {
         .sum();
     println!("penny-stock volume  estimate {penny_estimate:>16.0}  exact {penny_exact:>16.0}");
 
-    // The plain estimator (volume sample only) for comparison.
-    let plain = PlainEstimator::new(&summary).single(volume).unwrap().total();
-    let inclusive = adjusted_volume.total();
+    // The plain estimator (volume sample only) for comparison with the
+    // facade's inclusive estimate.
+    let plain = PlainEstimator::new(colocated).single(volume).unwrap().total();
+    let inclusive = summary.query(&Query::single(volume)).unwrap().value;
     let exact = day.data.assignment_total(volume);
     println!(
         "total volume        inclusive {inclusive:>14.0}  plain {plain:>14.0}  exact {exact:>14.0}"
@@ -76,11 +86,16 @@ fn main() {
 
     // --- Change detection across the month ---------------------------------
     let days: Vec<usize> = (0..volumes.num_assignments()).collect();
-    let dispersed_config =
-        SummaryConfig::new(512, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
-    let dispersed = DispersedSummary::build(&volumes.data, &dispersed_config);
-    let estimator = DispersedEstimator::new(&dispersed);
-    let l1 = estimator.l1(&days, SelectionKind::LSet).unwrap().total();
-    let exact_l1 = exact_aggregate(&volumes.data, &AggregateFn::L1(days.clone()), |_| true);
-    println!("\nmonth-long volume range (L1): estimate {l1:.3e}, exact {exact_l1:.3e}");
+    let mut pipeline = Pipeline::builder()
+        .assignments(volumes.num_assignments())
+        .k(512)
+        .layout(Layout::Dispersed)
+        .seed(7)
+        .build()
+        .unwrap();
+    pipeline.push_batch(volumes.data.iter()).unwrap();
+    let dispersed = pipeline.finalize().unwrap();
+    let l1 = dispersed.query(&Query::l1(days.clone())).unwrap();
+    let exact_l1 = exact_aggregate(&volumes.data, &AggregateFn::L1(days), |_| true);
+    println!("\nmonth-long volume range (L1): estimate {:.3e}, exact {exact_l1:.3e}", l1.value);
 }

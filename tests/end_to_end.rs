@@ -1,8 +1,9 @@
-//! Cross-crate integration tests: data generation → stream sampling →
-//! estimation → comparison with exact aggregates, plus the experiment
-//! registry end to end at smoke scale.
+//! Cross-crate integration tests: data generation → `Pipeline` ingestion →
+//! `Query` estimation → comparison with exact aggregates, plus the
+//! experiment registry end to end at smoke scale.
 
 use coordinated_sampling::data::ip::{IpAttribute, IpKey, IpTrace, IpTraceConfig};
+use coordinated_sampling::data::synthetic::element_stream;
 use coordinated_sampling::eval::datasets::DatasetScale;
 use coordinated_sampling::eval::experiments::{available_experiments, run_experiment};
 use coordinated_sampling::eval::measure::{measure_dispersed, EstimatorSpec};
@@ -21,49 +22,82 @@ fn ip_view() -> LabeledDataset {
 }
 
 #[test]
-fn stream_pipeline_estimates_track_exact_values() {
+fn facade_pipeline_estimates_track_exact_values() {
     let view = ip_view();
     let data = &view.data;
-    let config = SummaryConfig::new(300, RankFamily::Ipps, CoordinationMode::SharedSeed, 5);
 
-    // Dispersed stream sampling, one collector per period.
-    let mut sampler = DispersedStreamSampler::new(config, data.num_assignments());
-    for (key, weights) in data.iter() {
-        for (period, &bytes) in weights.iter().enumerate() {
-            sampler.push(period, key, bytes).unwrap();
-        }
-    }
-    let summary = sampler.finalize();
-    let estimator = DispersedEstimator::new(&summary);
+    // Dispersed summary through the facade, fed columnar.
+    let mut pipeline = Pipeline::builder()
+        .assignments(data.num_assignments())
+        .k(300)
+        .rank(RankFamily::Ipps)
+        .coordination(CoordinationMode::SharedSeed)
+        .layout(Layout::Dispersed)
+        .seed(5)
+        .build()
+        .unwrap();
+    pipeline.push_columns(&data.to_columns()).unwrap();
+    assert_eq!(pipeline.processed(), data.num_keys() as u64);
+    let summary = pipeline.finalize().unwrap();
 
     let relevant = [0usize, 1, 2];
     let subpopulation = |key: Key| key % 4 == 0;
-    for (estimate, aggregate) in [
-        (
-            estimator.max(&relevant).unwrap().subset_total(subpopulation),
-            AggregateFn::Max(relevant.to_vec()),
-        ),
-        (
-            estimator.min(&relevant, SelectionKind::LSet).unwrap().subset_total(subpopulation),
-            AggregateFn::Min(relevant.to_vec()),
-        ),
-        (
-            estimator.l1(&relevant, SelectionKind::LSet).unwrap().subset_total(subpopulation),
-            AggregateFn::L1(relevant.to_vec()),
-        ),
+    for (query, aggregate) in [
+        (Query::max(relevant), AggregateFn::Max(relevant.to_vec())),
+        (Query::min(relevant), AggregateFn::Min(relevant.to_vec())),
+        (Query::l1(relevant), AggregateFn::L1(relevant.to_vec())),
     ] {
+        let estimate = summary.query(&query.filter(subpopulation)).unwrap();
         let exact = exact_aggregate(data, &aggregate, subpopulation);
         assert!(exact > 0.0);
+        assert!(estimate.observed_keys > 0);
         assert!(
-            (estimate - exact).abs() <= exact * 0.5,
-            "{}: estimate {estimate} too far from exact {exact} for a k=300 sample",
-            aggregate.label()
+            (estimate.value - exact).abs() <= exact * 0.5,
+            "{}: estimate {} too far from exact {exact} for a k=300 sample",
+            aggregate.label(),
+            estimate.value
         );
     }
 }
 
 #[test]
-fn colocated_stream_pipeline_supports_posterior_queries() {
+fn unaggregated_element_stream_matches_aggregated_ingestion_end_to_end() {
+    // The IP trace re-shredded into raw per-period observations; the
+    // SumByKey stage must reproduce aggregated ingestion bit-for-bit, and
+    // the queries on top must therefore agree exactly.
+    let view = ip_view();
+    let data = &view.data;
+    let elements = element_stream(&data.to_columns(), 2, 4, 0xAB);
+
+    let build = || {
+        Pipeline::builder()
+            .assignments(data.num_assignments())
+            .k(200)
+            .layout(Layout::Dispersed)
+            .execution(Execution::Sharded(2))
+            .seed(17)
+    };
+    let mut aggregated = build().build().unwrap();
+    aggregated.push_batch(data.iter()).unwrap();
+    let expected = aggregated.finalize().unwrap();
+
+    let mut streaming = build().aggregation(Aggregation::SumByKey).build().unwrap();
+    for &(key, period, bytes) in &elements {
+        streaming.push_element(key, period, bytes).unwrap();
+    }
+    let streamed = streaming.finalize().unwrap();
+    assert_eq!(streamed, expected);
+
+    let query = Query::l1([0, 2]).filter(|key| key % 3 == 0);
+    assert_eq!(
+        streamed.query(&query).unwrap(),
+        expected.query(&query).unwrap(),
+        "identical summaries answer identically"
+    );
+}
+
+#[test]
+fn colocated_facade_supports_posterior_queries() {
     let trace = IpTrace::generate(&IpTraceConfig {
         num_flows: 4_000,
         num_dest_ips: 500,
@@ -73,30 +107,29 @@ fn colocated_stream_pipeline_supports_posterior_queries() {
     });
     let view = trace.colocated(IpKey::DestIp);
     let data = &view.data;
-    let config = SummaryConfig::new(250, RankFamily::Ipps, CoordinationMode::SharedSeed, 3);
 
-    let mut sampler = ColocatedStreamSampler::new(config, data.num_assignments());
-    for (key, weights) in data.iter() {
-        sampler.push(key, weights).unwrap();
-    }
-    let summary = sampler.finalize();
+    let mut pipeline = Pipeline::builder()
+        .assignments(data.num_assignments())
+        .k(250)
+        .layout(Layout::Colocated)
+        .seed(3)
+        .build()
+        .unwrap();
+    pipeline.push_batch(data.iter()).unwrap();
+    let summary = pipeline.finalize().unwrap();
     assert!(summary.num_distinct_keys() >= 250);
 
-    let estimator = InclusiveEstimator::new(&summary);
     let bytes = view.assignment_named("bytes").unwrap();
     let flows = view.assignment_named("flows").unwrap();
     let subpopulation = |key: Key| key % 3 != 0;
 
-    let estimate = estimator.single(bytes).unwrap().subset_total(subpopulation);
+    let estimate = summary.query(&Query::single(bytes).filter(subpopulation)).unwrap();
     let exact = exact_aggregate(data, &AggregateFn::SingleAssignment(bytes), subpopulation);
-    assert!((estimate - exact).abs() <= exact * 0.4, "bytes: {estimate} vs {exact}");
+    assert!((estimate.value - exact).abs() <= exact * 0.4, "bytes: {} vs {exact}", estimate.value);
 
-    // A ratio query: average bytes per flow for the subpopulation, via the
-    // secondary-function estimator.
-    let adjusted = estimator.single(flows).unwrap();
-    let estimated_flows = adjusted.subset_total(subpopulation);
+    let estimated_flows = summary.query(&Query::single(flows).filter(subpopulation)).unwrap();
     let exact_flows = exact_aggregate(data, &AggregateFn::SingleAssignment(flows), subpopulation);
-    assert!((estimated_flows - exact_flows).abs() <= exact_flows * 0.4);
+    assert!((estimated_flows.value - exact_flows).abs() <= exact_flows * 0.4);
 }
 
 #[test]
@@ -146,16 +179,26 @@ fn every_registered_experiment_produces_tables_at_smoke_scale() {
 }
 
 #[test]
-fn distributed_merge_matches_centralized_summary() {
+fn distributed_merge_matches_centralized_facade_summary() {
     use coordinated_sampling::stream::merge_disjoint_summaries;
 
     let view = ip_view();
     let data = &view.data;
     let config = SummaryConfig::new(100, RankFamily::Ipps, CoordinationMode::SharedSeed, 21);
-    let centralized = DispersedSummary::build(data, &config);
+
+    // Centralized: the facade.
+    let mut pipeline = Pipeline::builder()
+        .assignments(data.num_assignments())
+        .k(100)
+        .layout(Layout::Dispersed)
+        .seed(21)
+        .build()
+        .unwrap();
+    pipeline.push_batch(data.iter()).unwrap();
+    let centralized = pipeline.finalize().unwrap();
 
     // Partition keys across three "routers" and summarize each partition
-    // separately.
+    // separately with the offline builder.
     let mut partials = Vec::new();
     for router in 0..3u64 {
         let mut builder = MultiWeighted::builder(data.num_assignments());
@@ -165,5 +208,5 @@ fn distributed_merge_matches_centralized_summary() {
         partials.push(DispersedSummary::build(&builder.build(), &config));
     }
     let merged = merge_disjoint_summaries(&partials).unwrap();
-    assert_eq!(merged, centralized);
+    assert_eq!(Summary::Dispersed(merged), centralized);
 }
