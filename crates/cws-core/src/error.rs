@@ -53,6 +53,111 @@ pub enum CwsError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A serialized summary could not be decoded (or written): the input is
+    /// truncated, corrupted, from an unknown format version, or an I/O
+    /// operation failed. Every malformed input maps to one of the
+    /// [`CodecErrorKind`] variants — decoding never panics and never yields a
+    /// silently wrong summary.
+    Codec {
+        /// What exactly was malformed.
+        kind: CodecErrorKind,
+        /// Byte offset into the encoded stream where the problem was
+        /// detected (0 for write-side failures).
+        offset: u64,
+    },
+    /// Summaries offered for merging disagree on a configuration field
+    /// (`k`, rank family, coordination mode, seed, layout, effective sample
+    /// size or assignment count). Merging them would silently produce a
+    /// wrong answer, so the mismatch is a typed error instead.
+    IncompatibleSummaries {
+        /// The configuration field that disagrees.
+        field: &'static str,
+        /// Human-readable description of the two values.
+        details: String,
+    },
+}
+
+/// The precise way a serialized summary was malformed (the payload of
+/// [`CwsError::Codec`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecErrorKind {
+    /// The stream does not start with the `CWSM` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not one this decoder understands.
+    UnsupportedVersion {
+        /// The version declared by the stream.
+        found: u16,
+    },
+    /// A tag byte (layout, rank family, coordination mode, reserved pad) had
+    /// a value outside its legal range.
+    InvalidTag {
+        /// Which tag field was malformed.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The stream ended before a required field could be read.
+    Truncated {
+        /// Number of additional bytes the decoder needed.
+        expected: u64,
+    },
+    /// A declared entry count exceeds what the header admits, so reading it
+    /// would either allocate unboundedly or fabricate entries that cannot
+    /// exist.
+    LengthOverflow {
+        /// The count declared by the stream.
+        declared: u64,
+        /// The largest count the header allows.
+        limit: u64,
+    },
+    /// A checksum did not match: the covered bytes were altered after
+    /// encoding.
+    ChecksumMismatch {
+        /// Which section's checksum failed (`"header"` or `"body"`).
+        section: &'static str,
+    },
+    /// A structurally readable field carried a semantically impossible value
+    /// (non-finite rank, non-positive weight, unsorted entries, …).
+    Invalid {
+        /// Description of the violated invariant.
+        what: String,
+    },
+    /// The underlying reader or writer failed with a non-EOF I/O error.
+    Io {
+        /// The I/O error, rendered to text.
+        message: String,
+    },
+}
+
+impl fmt::Display for CodecErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecErrorKind::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:?} (expected `CWSM`)")
+            }
+            CodecErrorKind::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            CodecErrorKind::InvalidTag { field, value } => {
+                write!(f, "invalid `{field}` tag byte {value:#04x}")
+            }
+            CodecErrorKind::Truncated { expected } => {
+                write!(f, "truncated input: {expected} more byte(s) required")
+            }
+            CodecErrorKind::LengthOverflow { declared, limit } => {
+                write!(f, "declared length {declared} exceeds the limit {limit}")
+            }
+            CodecErrorKind::ChecksumMismatch { section } => {
+                write!(f, "{section} checksum mismatch")
+            }
+            CodecErrorKind::Invalid { what } => write!(f, "invalid content: {what}"),
+            CodecErrorKind::Io { message } => write!(f, "i/o failure: {message}"),
+        }
+    }
 }
 
 impl fmt::Display for CwsError {
@@ -78,6 +183,12 @@ impl fmt::Display for CwsError {
             }
             CwsError::ShardWorkerPanicked { shard, message } => {
                 write!(f, "shard {shard} worker thread panicked: {message}")
+            }
+            CwsError::Codec { kind, offset } => {
+                write!(f, "summary codec error at byte {offset}: {kind}")
+            }
+            CwsError::IncompatibleSummaries { field, details } => {
+                write!(f, "summaries cannot be merged: `{field}` differs ({details})")
             }
         }
     }
@@ -107,6 +218,29 @@ mod tests {
         let e = CwsError::ShardWorkerPanicked { shard: 3, message: "boom".into() };
         assert!(e.to_string().contains("shard 3"));
         assert!(e.to_string().contains("boom"));
+
+        let e = CwsError::Codec { kind: CodecErrorKind::Truncated { expected: 8 }, offset: 17 };
+        assert!(e.to_string().contains("byte 17"));
+        assert!(e.to_string().contains("8 more"));
+
+        let e = CwsError::IncompatibleSummaries { field: "seed", details: "1 vs 2".into() };
+        assert!(e.to_string().contains("seed"));
+        assert!(e.to_string().contains("1 vs 2"));
+    }
+
+    #[test]
+    fn codec_kind_display_names_the_problem() {
+        for (kind, needle) in [
+            (CodecErrorKind::BadMagic { found: *b"NOPE" }, "magic"),
+            (CodecErrorKind::UnsupportedVersion { found: 9 }, "version 9"),
+            (CodecErrorKind::InvalidTag { field: "layout", value: 7 }, "layout"),
+            (CodecErrorKind::LengthOverflow { declared: 10, limit: 4 }, "exceeds"),
+            (CodecErrorKind::ChecksumMismatch { section: "body" }, "body checksum"),
+            (CodecErrorKind::Invalid { what: "negative weight".into() }, "negative weight"),
+            (CodecErrorKind::Io { message: "pipe".into() }, "pipe"),
+        ] {
+            assert!(kind.to_string().contains(needle), "{kind}");
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregates;
+pub mod codec;
 pub mod columns;
 pub mod coordination;
 pub mod error;
@@ -74,9 +75,10 @@ pub mod weights;
 mod paper_examples;
 
 pub use aggregates::{exact_aggregate, AggregateFn};
+pub use codec::DecodedSummary;
 pub use columns::RecordColumns;
 pub use coordination::{CoordinationMode, RankGenerator};
-pub use error::{CwsError, Result};
+pub use error::{CodecErrorKind, CwsError, Result};
 pub use estimate::adjusted::AdjustedWeights;
 pub use estimate::colocated::{InclusiveEstimator, PlainEstimator};
 pub use estimate::dispersed::{DispersedEstimator, SelectionKind};
@@ -87,9 +89,10 @@ pub use weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::aggregates::{exact_aggregate, AggregateFn};
+    pub use crate::codec::DecodedSummary;
     pub use crate::columns::RecordColumns;
     pub use crate::coordination::{CoordinationMode, RankGenerator};
-    pub use crate::error::{CwsError, Result};
+    pub use crate::error::{CodecErrorKind, CwsError, Result};
     pub use crate::estimate::adjusted::AdjustedWeights;
     pub use crate::estimate::colocated::{InclusiveEstimator, PlainEstimator};
     pub use crate::estimate::dispersed::{DispersedEstimator, SelectionKind};

@@ -120,6 +120,38 @@ impl BottomKSketch {
         sketch
     }
 
+    /// Reassembles a sketch from already-sorted parts — the decoding path of
+    /// the binary summary codec, which must reproduce a previously
+    /// finalized sketch bit-for-bit without re-ranking anything.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, more than `k` entries are given, the entries are
+    /// not strictly ascending in the `(rank, key)` total order, any rank is
+    /// non-finite, any weight is not strictly positive and finite, or
+    /// `next_rank` is NaN or smaller than the last entry's rank. (The codec
+    /// validates these invariants first and reports them as typed errors;
+    /// the panics here are a second line of defense for direct callers.)
+    #[must_use]
+    pub fn from_sorted_parts(k: usize, entries: Vec<SketchEntry>, next_rank: f64) -> Self {
+        assert!(k > 0, "sample size k must be positive");
+        assert!(entries.len() <= k, "a bottom-k sketch holds at most k entries");
+        for pair in entries.windows(2) {
+            let order =
+                pair[0].rank.total_cmp(&pair[1].rank).then_with(|| pair[0].key.cmp(&pair[1].key));
+            assert!(order == std::cmp::Ordering::Less, "entries must be sorted by (rank, key)");
+        }
+        assert!(
+            entries.iter().all(|e| e.rank.is_finite() && e.weight.is_finite() && e.weight > 0.0),
+            "entries must carry finite ranks and positive weights"
+        );
+        assert!(!next_rank.is_nan(), "next rank must not be NaN");
+        assert!(
+            entries.last().is_none_or(|last| last.rank <= next_rank),
+            "next rank may not undercut a retained entry"
+        );
+        Self { k, entries, next_rank }
+    }
+
     /// Samples a weighted set using shared-seed ranks from `seeds`.
     ///
     /// This is the single-assignment convenience constructor (used by the

@@ -1,0 +1,485 @@
+//! Continuous ingestion: epoch-swapped snapshots and rolling coordinated
+//! windows.
+//!
+//! The paper's motivating workload is a *time-evolving* database — snapshots
+//! taken periodically, stored, shipped, and compared. Two wrappers turn the
+//! one-shot [`Pipeline`] into that long-lived service:
+//!
+//! * [`EpochedPipeline`] — ingestion never stops.
+//!   [`publish`](EpochedPipeline::publish) atomically swaps in a fresh
+//!   pipeline built from the same configuration, finalizes the outgoing
+//!   epoch, and hands
+//!   back an immutable [`Arc<Summary>`] snapshot. Works with every back-end,
+//!   including sharded execution (the epoch swap is the one point where the
+//!   worker threads quiesce).
+//! * [`WindowedPipeline`] — a ring of the last `N` published windows. All
+//!   windows share one configuration (and therefore one hash seed), so
+//!   consecutive coordinated windows overlap maximally — the paper's
+//!   selling point — and [`drift`](WindowedPipeline::drift) can estimate
+//!   between-window change (L1 distance, weighted union/stable mass) from
+//!   the retained samples alone.
+//!
+//! Every epoch uses the same seed, so keys keep their rank functions across
+//! epochs: summaries of different epochs are themselves coordinated and can
+//! be compared or paired sketch-by-sketch without resampling.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cws_core::columns::RecordColumns;
+use cws_core::summary::DispersedSummary;
+use cws_core::{CwsError, Key, Result};
+
+use crate::ingest::Ingest;
+use crate::pipeline::{Pipeline, PipelineBuilder};
+use crate::query::Query;
+use crate::summary::Summary;
+
+/// What [`EpochedPipeline::publish`] returns: the closed epoch's snapshot
+/// plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// 1-based index of the epoch that was just closed.
+    pub epoch: u64,
+    /// Records (or aggregated fragments) ingested during that epoch alone —
+    /// uniform across back-ends, including sharded execution.
+    pub records: u64,
+    /// The immutable snapshot; share it, serialize it, or merge it with
+    /// other epochs' snapshots of disjoint key ranges.
+    pub summary: Arc<Summary>,
+}
+
+/// A pipeline that publishes immutable point-in-time snapshots while
+/// ingestion continues into the next epoch.
+///
+/// ```
+/// use cws_engine::prelude::*;
+///
+/// let mut epochs = EpochedPipeline::new(
+///     Pipeline::builder().assignments(2).k(32).layout(Layout::Dispersed).seed(7),
+/// )
+/// .unwrap();
+/// epochs.push_record(1, &[1.0, 2.0]).unwrap();
+/// let report = epochs.publish().unwrap();
+/// assert_eq!((report.epoch, report.records), (1, 1));
+/// epochs.push_record(2, &[3.0, 4.0]).unwrap(); // next epoch, same seed
+/// assert_eq!(epochs.latest().unwrap().num_assignments(), 2);
+/// ```
+#[derive(Debug)]
+pub struct EpochedPipeline {
+    builder: PipelineBuilder,
+    current: Pipeline,
+    epoch: u64,
+    latest: Option<Arc<Summary>>,
+}
+
+impl EpochedPipeline {
+    /// Builds the first epoch's pipeline from `builder`; the same builder
+    /// (same seed — the coordination contract) re-creates every subsequent
+    /// epoch.
+    ///
+    /// # Errors
+    /// As [`PipelineBuilder::build`].
+    pub fn new(builder: PipelineBuilder) -> Result<Self> {
+        let current = builder.clone().build()?;
+        Ok(Self { builder, current, epoch: 0, latest: None })
+    }
+
+    /// The pipeline ingesting the current (unpublished) epoch.
+    #[must_use]
+    pub fn current(&self) -> &Pipeline {
+        &self.current
+    }
+
+    /// Number of epochs published so far.
+    #[must_use]
+    pub fn epochs_published(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The most recently published snapshot, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<Arc<Summary>> {
+        self.latest.clone()
+    }
+
+    /// Closes the current epoch: swaps in a fresh pipeline (same
+    /// configuration, same seed), finalizes the outgoing one, and publishes
+    /// its summary as an immutable snapshot.
+    ///
+    /// # Errors
+    /// As [`PipelineBuilder::build`] and [`Ingest::finalize`]; on error the
+    /// pipeline state is unchanged (build failures) or the epoch's data is
+    /// lost with the error reported (finalize failures, e.g. a sharded
+    /// worker panic).
+    pub fn publish(&mut self) -> Result<EpochReport> {
+        let replacement = self.builder.clone().build()?;
+        let outgoing = std::mem::replace(&mut self.current, replacement);
+        let records = outgoing.processed();
+        let summary = Arc::new(outgoing.finalize()?);
+        self.epoch += 1;
+        self.latest = Some(Arc::clone(&summary));
+        Ok(EpochReport { epoch: self.epoch, records, summary })
+    }
+
+    /// Absorbs one unaggregated element into the current epoch (requires an
+    /// aggregation stage, as on [`Pipeline::push_element`]).
+    ///
+    /// # Errors
+    /// As [`Pipeline::push_element`].
+    pub fn push_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        self.current.push_element(key, assignment, weight)
+    }
+
+    /// Absorbs a batch of unaggregated elements into the current epoch.
+    ///
+    /// # Errors
+    /// As [`Pipeline::push_elements`].
+    pub fn push_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        self.current.push_elements(elements)
+    }
+}
+
+impl Ingest for EpochedPipeline {
+    fn num_assignments(&self) -> usize {
+        self.current.num_assignments()
+    }
+
+    /// Progress of the **current** epoch only (each publish starts a fresh
+    /// count — per-epoch record counts come for free).
+    fn processed(&self) -> u64 {
+        self.current.processed()
+    }
+
+    fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        self.current.push_record(key, weights)
+    }
+
+    fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        self.current.push_columns(columns)
+    }
+
+    fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        self.current.push_columns_shared(columns)
+    }
+
+    /// Finalizes the current epoch without publishing it.
+    fn finalize(self) -> Result<Summary> {
+        self.current.finalize()
+    }
+}
+
+/// Between-window change estimated from two coordinated windows' samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drift {
+    /// Estimated L1 distance `Σ_key |w_a(key) − w_b(key)|` between the two
+    /// windows' weight assignments.
+    pub l1: f64,
+    /// Estimated weighted union mass `Σ_key max(w_a, w_b)`.
+    pub union_total: f64,
+    /// Estimated stable mass `Σ_key min(w_a, w_b)` — the weight present in
+    /// both windows.
+    pub stable_total: f64,
+    /// Keys the paired sample could observe for the L1 estimate.
+    pub observed_keys: usize,
+}
+
+impl Drift {
+    /// The weighted Jaccard similarity estimate `stable / union` (1 when
+    /// the windows are identical, 0 when nothing persists; 0 for two empty
+    /// windows).
+    #[must_use]
+    pub fn jaccard(&self) -> f64 {
+        if self.union_total > 0.0 {
+            self.stable_total / self.union_total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A ring of the last `N` published windows, all coordinated through one
+/// configuration, with drift estimation between any two of them.
+///
+/// Windows are indexed from the most recent closed one: `window(0)` is the
+/// last [`roll`](WindowedPipeline::roll), `window(1)` the one before it.
+#[derive(Debug)]
+pub struct WindowedPipeline {
+    epochs: EpochedPipeline,
+    capacity: usize,
+    windows: VecDeque<Arc<Summary>>,
+}
+
+impl WindowedPipeline {
+    /// A rolling window service keeping the last `capacity` closed windows.
+    ///
+    /// # Errors
+    /// As [`PipelineBuilder::build`]; additionally a typed error when
+    /// `capacity` is zero.
+    pub fn new(builder: PipelineBuilder, capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(CwsError::InvalidParameter {
+                name: "capacity",
+                message: "a windowed pipeline must retain at least one window".to_string(),
+            });
+        }
+        Ok(Self { epochs: EpochedPipeline::new(builder)?, capacity, windows: VecDeque::new() })
+    }
+
+    /// Closes the current window into the ring (evicting the oldest window
+    /// beyond capacity) and starts the next one.
+    ///
+    /// # Errors
+    /// As [`EpochedPipeline::publish`].
+    pub fn roll(&mut self) -> Result<EpochReport> {
+        let report = self.epochs.publish()?;
+        if self.windows.len() == self.capacity {
+            self.windows.pop_back();
+        }
+        self.windows.push_front(Arc::clone(&report.summary));
+        Ok(report)
+    }
+
+    /// The `age`-th most recent closed window (0 = last rolled), if it is
+    /// still retained.
+    #[must_use]
+    pub fn window(&self, age: usize) -> Option<Arc<Summary>> {
+        self.windows.get(age).cloned()
+    }
+
+    /// Number of closed windows currently retained (≤ capacity).
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total number of windows rolled since construction.
+    #[must_use]
+    pub fn rolled(&self) -> u64 {
+        self.epochs.epochs_published()
+    }
+
+    /// Estimates the drift of assignment 0 between the windows of age `a`
+    /// and age `b` — see [`WindowedPipeline::drift_in`].
+    ///
+    /// # Errors
+    /// As [`WindowedPipeline::drift_in`].
+    pub fn drift(&self, a: usize, b: usize) -> Result<Drift> {
+        self.drift_in(a, b, 0)
+    }
+
+    /// Estimates how much `assignment` changed between the windows of age
+    /// `a` and age `b`.
+    ///
+    /// Because all windows share one hash seed, the two windows' sketches of
+    /// `assignment` are *coordinated*: pairing them yields a legitimate
+    /// two-assignment coordinated summary over which the dispersed
+    /// estimators answer `L1`, `max`, and `min` — this is exactly the
+    /// "similar subpopulations across snapshots" workload the paper
+    /// motivates coordination with.
+    ///
+    /// # Errors
+    /// Typed errors when a window age is out of range, the windows are not
+    /// dispersed summaries, or `assignment` is out of range; estimator
+    /// errors (e.g. `max` over independent sketches) propagate.
+    pub fn drift_in(&self, a: usize, b: usize, assignment: usize) -> Result<Drift> {
+        let paired = self.paired_summary(a, b, assignment)?;
+        let l1 = paired.query(&Query::l1([0, 1]))?;
+        let union = paired.query(&Query::max([0, 1]))?;
+        let stable = paired.query(&Query::min([0, 1]))?;
+        Ok(Drift {
+            l1: l1.value,
+            union_total: union.value,
+            stable_total: stable.value,
+            observed_keys: l1.observed_keys,
+        })
+    }
+
+    /// Pairs two retained windows' sketches of `assignment` into a
+    /// two-assignment coordinated summary (assignment 0 = window of age
+    /// `a`, assignment 1 = window of age `b`).
+    fn paired_summary(&self, a: usize, b: usize, assignment: usize) -> Result<Summary> {
+        let fetch = |age: usize| {
+            self.window(age).ok_or_else(|| CwsError::InvalidParameter {
+                name: "window",
+                message: format!(
+                    "window of age {age} is not retained (have {} of capacity {})",
+                    self.windows.len(),
+                    self.capacity
+                ),
+            })
+        };
+        let [first, second] = [fetch(a)?, fetch(b)?];
+        let mut sketches = Vec::with_capacity(2);
+        for summary in [&first, &second] {
+            let dispersed = summary.as_dispersed().ok_or(CwsError::UnsupportedEstimator {
+                estimator: "drift",
+                reason: "drift pairing needs per-assignment sketches; \
+                             use the dispersed layout",
+            })?;
+            if assignment >= dispersed.num_assignments() {
+                return Err(CwsError::AssignmentOutOfRange {
+                    index: assignment,
+                    available: dispersed.num_assignments(),
+                });
+            }
+            sketches.push(dispersed.sketch(assignment).clone());
+        }
+        let config = *first.config();
+        Ok(Summary::Dispersed(DispersedSummary::from_sketches(config, sketches)))
+    }
+
+    /// Absorbs one unaggregated element into the current window.
+    ///
+    /// # Errors
+    /// As [`Pipeline::push_element`].
+    pub fn push_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        self.epochs.push_element(key, assignment, weight)
+    }
+
+    /// Absorbs a batch of unaggregated elements into the current window.
+    ///
+    /// # Errors
+    /// As [`Pipeline::push_elements`].
+    pub fn push_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        self.epochs.push_elements(elements)
+    }
+}
+
+impl Ingest for WindowedPipeline {
+    fn num_assignments(&self) -> usize {
+        self.epochs.num_assignments()
+    }
+
+    /// Progress of the current (unrolled) window only.
+    fn processed(&self) -> u64 {
+        self.epochs.processed()
+    }
+
+    fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        self.epochs.push_record(key, weights)
+    }
+
+    fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        self.epochs.push_columns(columns)
+    }
+
+    fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        self.epochs.push_columns_shared(columns)
+    }
+
+    /// Finalizes the current window without rolling it into the ring.
+    fn finalize(self) -> Result<Summary> {
+        self.epochs.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Execution, Layout};
+
+    fn dispersed_builder() -> PipelineBuilder {
+        Pipeline::builder().assignments(2).k(64).layout(Layout::Dispersed).seed(9)
+    }
+
+    #[test]
+    fn published_epoch_equals_one_shot_ingest() {
+        let mut epochs = EpochedPipeline::new(dispersed_builder()).unwrap();
+        let mut oneshot = dispersed_builder().build().unwrap();
+        for key in 0..500u64 {
+            let weights = [((key % 13) + 1) as f64, ((key % 7) + 1) as f64];
+            epochs.push_record(key, &weights).unwrap();
+            oneshot.push_record(key, &weights).unwrap();
+        }
+        let report = epochs.publish().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.records, 500);
+        assert_eq!(*report.summary, oneshot.finalize().unwrap());
+        // Ingestion continues; the published snapshot is unaffected.
+        epochs.push_record(9999, &[1.0, 1.0]).unwrap();
+        assert_eq!(epochs.processed(), 1);
+        assert_eq!(epochs.latest().unwrap(), report.summary);
+    }
+
+    #[test]
+    fn sharded_epochs_report_per_epoch_counts() {
+        let mut epochs =
+            EpochedPipeline::new(dispersed_builder().execution(Execution::Sharded(2))).unwrap();
+        for key in 0..300u64 {
+            epochs.push_record(key, &[1.0 + (key % 5) as f64, 2.0]).unwrap();
+        }
+        let first = epochs.publish().unwrap();
+        for key in 0..120u64 {
+            epochs.push_record(key, &[2.0, 3.0]).unwrap();
+        }
+        let second = epochs.publish().unwrap();
+        assert_eq!((first.records, second.records), (300, 120));
+        assert_eq!(second.epoch, 2);
+    }
+
+    #[test]
+    fn identical_windows_have_zero_drift() {
+        let mut windows = WindowedPipeline::new(dispersed_builder(), 3).unwrap();
+        for _ in 0..2 {
+            for key in 0..400u64 {
+                windows.push_record(key, &[((key % 11) + 1) as f64, 1.0]).unwrap();
+            }
+            windows.roll().unwrap();
+        }
+        let drift = windows.drift(0, 1).unwrap();
+        assert!(drift.l1.abs() < 1e-9, "identical windows must show no drift, got {}", drift.l1);
+        assert!((drift.jaccard() - 1.0).abs() < 1e-9);
+        assert!(drift.union_total > 0.0);
+    }
+
+    #[test]
+    fn disjoint_windows_have_total_drift() {
+        let mut windows = WindowedPipeline::new(dispersed_builder(), 2).unwrap();
+        for key in 0..200u64 {
+            windows.push_record(key, &[1.0, 1.0]).unwrap();
+        }
+        windows.roll().unwrap();
+        for key in 1000..1200u64 {
+            windows.push_record(key, &[1.0, 1.0]).unwrap();
+        }
+        windows.roll().unwrap();
+        let drift = windows.drift(0, 1).unwrap();
+        assert!(drift.stable_total.abs() < 1e-9);
+        assert!(drift.jaccard().abs() < 1e-9);
+        assert!(drift.l1 > 0.0);
+    }
+
+    #[test]
+    fn ring_evicts_beyond_capacity() {
+        let mut windows = WindowedPipeline::new(dispersed_builder(), 2).unwrap();
+        for round in 0..4u64 {
+            windows.push_record(round, &[1.0, 1.0]).unwrap();
+            windows.roll().unwrap();
+        }
+        assert_eq!(windows.num_windows(), 2);
+        assert_eq!(windows.rolled(), 4);
+        assert!(windows.window(0).is_some() && windows.window(1).is_some());
+        assert!(windows.window(2).is_none());
+        let err = windows.drift(0, 2).unwrap_err();
+        assert!(matches!(err, CwsError::InvalidParameter { name: "window", .. }));
+    }
+
+    #[test]
+    fn drift_requires_the_dispersed_layout() {
+        let mut windows = WindowedPipeline::new(
+            Pipeline::builder().assignments(1).k(8).layout(Layout::Colocated).seed(9),
+            2,
+        )
+        .unwrap();
+        for round in 0..2u64 {
+            windows.push_record(round, &[1.0]).unwrap();
+            windows.roll().unwrap();
+        }
+        assert!(matches!(
+            windows.drift(0, 1),
+            Err(CwsError::UnsupportedEstimator { estimator: "drift", .. })
+        ));
+        assert!(WindowedPipeline::new(dispersed_builder(), 0).is_err());
+    }
+}

@@ -50,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod continuous;
 pub mod ingest;
 pub mod pipeline;
 pub mod query;
 pub mod summary;
 
 pub use aggregation::{Aggregation, KeyAggregator};
+pub use continuous::{Drift, EpochReport, EpochedPipeline, WindowedPipeline};
 pub use ingest::Ingest;
 pub use pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
 pub use query::{Estimate, Query};
@@ -64,6 +66,7 @@ pub use summary::Summary;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::aggregation::Aggregation;
+    pub use crate::continuous::{Drift, EpochReport, EpochedPipeline, WindowedPipeline};
     pub use crate::ingest::Ingest;
     pub use crate::pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
     pub use crate::query::{Estimate, Query};

@@ -4,9 +4,12 @@
 use std::sync::Arc;
 
 use cws_core::columns::RecordColumns;
-use cws_core::summary::SummaryConfig;
+use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 use cws_core::{CoordinationMode, CwsError, Key, RankFamily, Result};
-use cws_stream::{ColocatedStreamSampler, MultiAssignmentStreamSampler, ShardedDispersedSampler};
+use cws_stream::{
+    merge_disjoint_colocated, merge_disjoint_summaries_ref, ColocatedStreamSampler,
+    MultiAssignmentStreamSampler, ShardedDispersedSampler,
+};
 
 use crate::aggregation::{Aggregation, KeyAggregator};
 use crate::ingest::Ingest;
@@ -341,6 +344,85 @@ impl Pipeline {
                     .to_string(),
             }),
         }
+    }
+
+    /// Merges summaries computed over **disjoint** key partitions (different
+    /// shards, sites, or archive files) into the summary of the union
+    /// population — bit-identical to ingesting everything through one
+    /// pipeline, for both layouts.
+    ///
+    /// # Errors
+    /// Returns [`CwsError::IncompatibleSummaries`] naming the offending
+    /// field when the summaries disagree on layout, `k`, rank family,
+    /// coordination mode, seed, assignment count, or effective sample size —
+    /// a mismatch is always a typed error, never a silently wrong answer.
+    /// Returns [`CwsError::InvalidParameter`] when no summaries are given or
+    /// a key appears in more than one partial.
+    pub fn merge(summaries: &[Summary]) -> Result<Summary> {
+        let refs: Vec<&Summary> = summaries.iter().collect();
+        Self::merge_refs(&refs)
+    }
+
+    /// Reference-taking variant of [`Pipeline::merge`], for callers holding
+    /// summaries behind shared pointers (epoch snapshots, caches).
+    ///
+    /// # Errors
+    /// As [`Pipeline::merge`].
+    pub fn merge_refs(summaries: &[&Summary]) -> Result<Summary> {
+        let first = *summaries.first().ok_or_else(|| CwsError::InvalidParameter {
+            name: "summaries",
+            message: "at least one summary is required".to_string(),
+        })?;
+        let mixed = || CwsError::IncompatibleSummaries {
+            field: "layout",
+            details: "colocated vs dispersed".to_string(),
+        };
+        match first {
+            Summary::Colocated(_) => {
+                let parts: Vec<&ColocatedSummary> = summaries
+                    .iter()
+                    .map(|s| s.as_colocated().ok_or_else(mixed))
+                    .collect::<Result<_>>()?;
+                Ok(Summary::Colocated(merge_disjoint_colocated(&parts)?))
+            }
+            Summary::Dispersed(_) => {
+                let parts: Vec<&DispersedSummary> = summaries
+                    .iter()
+                    .map(|s| s.as_dispersed().ok_or_else(mixed))
+                    .collect::<Result<_>>()?;
+                Ok(Summary::Dispersed(merge_disjoint_summaries_ref(&parts)?))
+            }
+        }
+    }
+
+    /// Snapshots the pipeline's current state into a [`Summary`] without
+    /// consuming it — ingestion can continue afterwards. The snapshot is
+    /// exactly what [`finalize`](Ingest::finalize) would return right now.
+    ///
+    /// # Errors
+    /// Returns a typed error for sharded pipelines, whose in-flight state
+    /// lives on worker threads; use
+    /// [`EpochedPipeline`](crate::continuous::EpochedPipeline) to publish
+    /// point-in-time summaries from a sharded ingestion loop.
+    pub fn snapshot(&self) -> Result<Summary> {
+        let backend = match &self.backend {
+            Backend::Colocated(sampler) => Backend::Colocated(sampler.clone()),
+            Backend::HashOnce(sampler) => Backend::HashOnce(sampler.clone()),
+            Backend::Sharded(_) => {
+                return Err(CwsError::InvalidParameter {
+                    name: "execution",
+                    message: "sharded pipelines cannot snapshot in place (worker state lives on \
+                              other threads); publish epochs with EpochedPipeline instead"
+                        .to_string(),
+                });
+            }
+        };
+        let copy = Pipeline {
+            backend,
+            aggregator: self.aggregator.clone(),
+            flush_threshold: self.flush_threshold,
+        };
+        copy.finalize()
     }
 
     /// Drains the aggregation stage into the back-end: one zero-copy batch

@@ -1,6 +1,9 @@
 //! The unified summary type every [`Ingest`](crate::Ingest) back-end
 //! finalizes into.
 
+use std::io::{Read, Write};
+
+use cws_core::codec::{self, DecodedSummary};
 use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 use cws_core::{CoordinationMode, RankFamily, Result};
 
@@ -99,6 +102,55 @@ impl Summary {
     /// As [`Query::evaluate`].
     pub fn query(&self, query: &Query) -> Result<Estimate> {
         query.evaluate(self)
+    }
+
+    /// Serializes the summary in the versioned binary format of
+    /// [`cws_core::codec`] (bit-exact round trips; the layout is encoded in
+    /// the header, so [`Summary::read_from`] restores the right variant).
+    ///
+    /// # Errors
+    /// Returns a typed codec error if the writer fails.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<()> {
+        match self {
+            Summary::Colocated(summary) => summary.write_to(writer),
+            Summary::Dispersed(summary) => summary.write_to(writer),
+        }
+    }
+
+    /// The serialized bytes of this summary.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Summary::Colocated(summary) => summary.to_bytes(),
+            Summary::Dispersed(summary) => summary.to_bytes(),
+        }
+    }
+
+    /// Reads one summary — either layout — from `reader`, leaving the
+    /// reader positioned after it so concatenated summaries can be read
+    /// sequentially.
+    ///
+    /// # Errors
+    /// As [`cws_core::codec::read_summary`]: every malformed input yields a
+    /// typed [`CwsError::Codec`](cws_core::CwsError::Codec), never a panic
+    /// or a silently wrong summary.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Self> {
+        Ok(match codec::read_summary(reader)? {
+            DecodedSummary::Colocated(summary) => Summary::Colocated(summary),
+            DecodedSummary::Dispersed(summary) => Summary::Dispersed(summary),
+        })
+    }
+
+    /// Decodes exactly one summary from `bytes`, rejecting trailing
+    /// garbage.
+    ///
+    /// # Errors
+    /// As [`Summary::read_from`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(match codec::summary_from_bytes(bytes)? {
+            DecodedSummary::Colocated(summary) => Summary::Colocated(summary),
+            DecodedSummary::Dispersed(summary) => Summary::Dispersed(summary),
+        })
     }
 }
 

@@ -204,6 +204,14 @@ impl ColocatedStreamSampler {
 
         ColocatedSummary::from_parts(self.config, self.config.k, kth_ranks, next_ranks, records)
     }
+
+    /// Snapshots the current state into a summary **without** consuming the
+    /// sampler: ingestion can continue afterwards. The snapshot is exactly
+    /// what [`finalize`](Self::finalize) would return right now.
+    #[must_use]
+    pub fn snapshot(&self) -> ColocatedSummary {
+        self.clone().finalize()
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,14 @@ impl DispersedStreamSampler {
         let sketches = self.samplers.into_iter().map(BottomKStreamSampler::finalize).collect();
         DispersedSummary::from_sketches(self.config, sketches)
     }
+
+    /// Snapshots the current state into a summary **without** consuming the
+    /// sampler: ingestion can continue afterwards. The snapshot is exactly
+    /// what [`finalize`](Self::finalize) would return right now.
+    #[must_use]
+    pub fn snapshot(&self) -> DispersedSummary {
+        self.clone().finalize()
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub mod sharded;
 pub use bottomk::BottomKStreamSampler;
 pub use colocated::ColocatedStreamSampler;
 pub use dispersed::DispersedStreamSampler;
-pub use merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+pub use merge::{
+    merge_disjoint_colocated, merge_disjoint_sketches, merge_disjoint_summaries,
+    merge_disjoint_summaries_ref,
+};
 pub use multi::MultiAssignmentStreamSampler;
 pub use poisson::PoissonStreamSampler;
 pub use sharded::ShardedDispersedSampler;
@@ -56,7 +59,10 @@ pub mod prelude {
     pub use crate::bottomk::BottomKStreamSampler;
     pub use crate::colocated::ColocatedStreamSampler;
     pub use crate::dispersed::DispersedStreamSampler;
-    pub use crate::merge::{merge_disjoint_sketches, merge_disjoint_summaries};
+    pub use crate::merge::{
+        merge_disjoint_colocated, merge_disjoint_sketches, merge_disjoint_summaries,
+        merge_disjoint_summaries_ref,
+    };
     pub use crate::multi::MultiAssignmentStreamSampler;
     pub use crate::poisson::PoissonStreamSampler;
     pub use crate::sharded::ShardedDispersedSampler;

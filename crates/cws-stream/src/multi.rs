@@ -240,6 +240,14 @@ impl MultiAssignmentStreamSampler {
         let sketches = self.candidates.into_iter().map(CandidateSet::into_sketch).collect();
         DispersedSummary::from_sketches(self.config, sketches)
     }
+
+    /// Snapshots the current state into a summary **without** consuming the
+    /// sampler: ingestion can continue afterwards. The snapshot is exactly
+    /// what [`finalize`](Self::finalize) would return right now.
+    #[must_use]
+    pub fn snapshot(&self) -> DispersedSummary {
+        self.clone().finalize()
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,35 @@
-//! Ratings-drift scenario: many dispersed assignments, one query language.
+//! Ratings drift as a *continuous* workload: rolling coordinated windows,
+//! epoch snapshots that outlive the ingestion loop, and drift estimation
+//! between windows — the paper's motivating "evolving database" scenario.
 //!
-//! Monthly rating counts per movie arrive in twelve separate batches; each
-//! batch keeps its own bottom-k sample coordinated only through the shared
-//! hash seed. The analyst later asks for the movies' *stable* audience (the
-//! minimum monthly ratings over the year), the peak audience (maximum), and
-//! how much the catalogue churned (L1), optionally restricted to any
-//! subpopulation of movies — queries a single-assignment sample cannot
-//! answer and independent samples answer badly.
+//! A year of movie ratings arrives month by month. A [`WindowedPipeline`]
+//! ingests each month as its own window and rolls it into a ring of
+//! coordinated snapshots: every window shares one hash seed, so consecutive
+//! windows overlap maximally and the retained samples alone support
+//! month-over-month churn estimates (L1 distance, weighted Jaccard) that
+//! independent per-month samples could not answer.
+//!
+//! The published snapshots are immutable `Arc<Summary>` values: the example
+//! also serializes one with the versioned binary codec, reads it back
+//! bit-identically, and merges two regionally-split epoch snapshots into
+//! the exact single-node summary.
 //!
 //! Run with: `cargo run --release --example ratings_drift`
 
 use coordinated_sampling::data::ratings::{RatingsConfig, RatingsData};
 use coordinated_sampling::prelude::*;
+
+/// Exact drift numbers between two months, computed from the raw data for
+/// comparison against the sample-based estimates.
+fn exact_drift(data: &MultiWeighted, a: usize, b: usize) -> (f64, f64) {
+    let (mut l1, mut union, mut stable) = (0.0, 0.0, 0.0);
+    for (_, weights) in data.iter() {
+        l1 += (weights[a] - weights[b]).abs();
+        union += weights[a].max(weights[b]);
+        stable += weights[a].min(weights[b]);
+    }
+    (l1, if union > 0.0 { stable / union } else { 0.0 })
+}
 
 fn main() {
     let ratings = RatingsData::generate(&RatingsConfig {
@@ -21,67 +39,87 @@ fn main() {
         ..RatingsConfig::default()
     });
     let view = ratings.dataset();
-    let months: Vec<usize> = (0..view.num_assignments()).collect();
-    println!("{} movies, {} monthly assignments", view.num_keys(), view.num_assignments());
+    let months = view.num_assignments();
+    println!("{} movies, {months} monthly batches\n", view.num_keys());
 
-    // Coordinated vs independent sketches: the builder line is the only
-    // difference — ingestion and queries are identical.
-    let exact = exact_aggregate(&view.data, &AggregateFn::Min(months.clone()), |_| true);
-    for (label, mode) in [
-        ("coordinated", CoordinationMode::SharedSeed),
-        ("independent", CoordinationMode::Independent),
-    ] {
-        let mut pipeline = Pipeline::builder()
-            .assignments(view.num_assignments())
-            .k(400)
-            .rank(RankFamily::Ipps)
-            .coordination(mode)
-            .layout(Layout::Dispersed)
-            .seed(0xF00D)
-            .build()
-            .expect("valid configuration");
-        pipeline.push_batch(view.data.iter()).expect("valid weights");
-        let summary = pipeline.finalize().unwrap();
-        let min = summary.query(&Query::min(months.clone())).unwrap();
+    // One window per month. Every window is built from the same
+    // configuration — the shared seed is what coordinates them.
+    let builder = Pipeline::builder()
+        .assignments(1)
+        .k(400)
+        .rank(RankFamily::Ipps)
+        .coordination(CoordinationMode::SharedSeed)
+        .layout(Layout::Dispersed)
+        .seed(0xF00D);
+    let mut windows = WindowedPipeline::new(builder.clone(), months).expect("valid configuration");
+
+    println!("month  records   drift vs previous month (estimate | exact)   jaccard (est | exact)");
+    for month in 0..months {
+        for (movie, weights) in view.data.iter() {
+            if weights[month] > 0.0 {
+                windows.push_record(movie, &[weights[month]]).unwrap();
+            }
+        }
+        let report = windows.roll().unwrap();
+        if month == 0 {
+            println!("{:>5}  {:>7}   (first window)", month + 1, report.records);
+            continue;
+        }
+        // window(0) is the month just closed, window(1) the one before.
+        let drift = windows.drift(1, 0).unwrap();
+        let (exact_l1, exact_jaccard) = exact_drift(&view.data, month - 1, month);
         println!(
-            "{label:>12} sketches ({} distinct movies stored): stable-audience estimate {:>10.0} \
-             (exact {exact:.0})",
-            summary.num_distinct_keys(),
-            min.value
+            "{:>5}  {:>7}   {:>12.0} | {:>12.0}          {:.3} | {:.3}",
+            month + 1,
+            report.records,
+            drift.l1,
+            exact_l1,
+            drift.jaccard(),
+            exact_jaccard,
         );
     }
 
-    // Full change-detection report from the coordinated summary.
-    let mut pipeline = Pipeline::builder()
-        .assignments(view.num_assignments())
-        .k(400)
-        .layout(Layout::Dispersed)
-        .seed(0xF00D)
-        .build()
-        .unwrap();
-    pipeline.push_batch(view.data.iter()).unwrap();
-    let summary = pipeline.finalize().unwrap();
-    // Subpopulation selected after the fact: the "long tail" (every movie
-    // whose key is odd — in a real catalogue this would be a genre or studio).
-    let tail = |key: Key| key % 2 == 1;
-    println!("\nlong-tail catalogue, estimate vs exact:");
-    for (name, query, aggregate) in [
-        (
-            "peak monthly audience (max)",
-            Query::max(months.clone()),
-            AggregateFn::Max(months.clone()),
-        ),
-        ("stable audience (min)", Query::min(months.clone()), AggregateFn::Min(months.clone())),
-        ("yearly churn (L1)", Query::l1(months.clone()), AggregateFn::L1(months.clone())),
-        (
-            "median month (6th largest)",
-            Query::lth_largest(months.clone(), 6),
-            AggregateFn::LthLargest { assignments: months.clone(), ell: 6 },
-        ),
-    ] {
-        let exact = exact_aggregate(&view.data, &aggregate, tail);
-        let estimate = summary.query(&query.filter(tail)).unwrap();
-        let error = if exact > 0.0 { 100.0 * (estimate.value - exact).abs() / exact } else { 0.0 };
-        println!("  {name:<30} {:>12.0}  vs {exact:>12.0}  ({error:.1}% off)", estimate.value);
+    // Drift across a longer horizon: the oldest retained window vs the
+    // newest (catalogue churn over the whole year).
+    let yearly = windows.drift(months - 1, 0).unwrap();
+    let (exact_l1, exact_jaccard) = exact_drift(&view.data, 0, months - 1);
+    println!(
+        "\nJanuary → December churn: L1 {:.0} (exact {exact_l1:.0}), \
+         weighted Jaccard {:.3} (exact {exact_jaccard:.3})",
+        yearly.l1,
+        yearly.jaccard()
+    );
+
+    // Snapshots outlive the process: the latest window serializes with the
+    // versioned binary codec and reads back bit-identically.
+    let latest = windows.window(0).unwrap();
+    let bytes = latest.to_bytes();
+    let restored = Summary::from_bytes(&bytes).unwrap();
+    assert_eq!(restored, *latest);
+    println!(
+        "\nserialized December window: {} bytes for {} retained movies (round-trip bit-exact)",
+        bytes.len(),
+        latest.num_distinct_keys()
+    );
+
+    // Merge: two sites ingest disjoint halves of December into epoched
+    // pipelines; their published snapshots merge into exactly the summary a
+    // single node would have built.
+    let december = months - 1;
+    let mut site_a = EpochedPipeline::new(builder.clone()).unwrap();
+    let mut site_b = EpochedPipeline::new(builder.clone()).unwrap();
+    for (movie, weights) in view.data.iter() {
+        if weights[december] > 0.0 {
+            let site = if movie % 2 == 0 { &mut site_a } else { &mut site_b };
+            site.push_record(movie, &[weights[december]]).unwrap();
+        }
     }
+    let a = site_a.publish().unwrap();
+    let b = site_b.publish().unwrap();
+    let merged = Pipeline::merge_refs(&[a.summary.as_ref(), b.summary.as_ref()]).unwrap();
+    assert_eq!(merged, *latest);
+    println!(
+        "two-site merge ({} + {} records) reproduces the single-node December window bit-for-bit",
+        a.records, b.records
+    );
 }

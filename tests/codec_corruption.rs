@@ -1,0 +1,246 @@
+//! Corruption rejection suite for the summary codec (ISSUE 6).
+//!
+//! Contract: **every** malformed input yields a typed `CwsError::Codec` —
+//! never a panic, a hang, or a silently wrong summary. The suite drives
+//! that with every prefix truncation point, a deterministic sweep of
+//! single-byte flips over the entire stream (header *and* body), and
+//! dedicated assertions for bad magic, unknown version, and declared-length
+//! overflow.
+
+mod common;
+
+use coordinated_sampling::core::codec::{self, checksum, HEADER_LEN, MAX_ASSIGNMENTS, MAX_K};
+use coordinated_sampling::core::{CodecErrorKind, CwsError};
+use coordinated_sampling::prelude::*;
+
+fn fixture_data() -> MultiWeighted {
+    let mut builder = MultiWeighted::builder(3);
+    for key in 0..60u64 {
+        builder.add_vector(
+            key,
+            &[((key % 9) + 1) as f64, ((key % 4) * 2) as f64, ((key % 6) + 3) as f64],
+        );
+    }
+    builder.build()
+}
+
+fn encoded(layout: Layout) -> Vec<u8> {
+    let data = fixture_data();
+    let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 0xBEEF);
+    match layout {
+        Layout::Colocated => ColocatedSummary::build(&data, &config).to_bytes(),
+        Layout::Dispersed => DispersedSummary::build(&data, &config).to_bytes(),
+    }
+}
+
+/// Re-stamps the header checksum after a deliberate header patch, so the
+/// decoder reaches the patched field instead of stopping at the checksum.
+fn restamp_header(bytes: &mut [u8]) {
+    let sum = checksum(&bytes[..40]);
+    bytes[40..48].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn decode(bytes: &[u8]) -> Result<Summary> {
+    Summary::from_bytes(bytes)
+}
+
+#[test]
+fn every_prefix_truncation_is_a_typed_error() {
+    for layout in [Layout::Colocated, Layout::Dispersed] {
+        let bytes = encoded(layout);
+        for len in 0..bytes.len() {
+            match decode(&bytes[..len]) {
+                Err(CwsError::Codec { .. }) => {}
+                Err(other) => {
+                    panic!("{layout:?} prefix of {len} bytes: expected a codec error, got {other}")
+                }
+                Ok(_) => panic!("{layout:?} prefix of {len} bytes decoded successfully"),
+            }
+        }
+        // The full stream still decodes — the fixture itself is valid.
+        decode(&bytes).unwrap();
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    // XOR patterns chosen so both high and low bits of every byte get
+    // exercised deterministically.
+    for layout in [Layout::Colocated, Layout::Dispersed] {
+        let pristine = encoded(layout);
+        for offset in 0..pristine.len() {
+            for pattern in [0x01u8, 0x80, 0xFF] {
+                let mut corrupted = pristine.clone();
+                corrupted[offset] ^= pattern;
+                match decode(&corrupted) {
+                    Err(CwsError::Codec { .. }) => {}
+                    Err(other) => panic!(
+                        "{layout:?} byte {offset} ^ {pattern:#04x}: expected a codec error, \
+                         got {other}"
+                    ),
+                    Ok(_) => panic!(
+                        "{layout:?} byte {offset} ^ {pattern:#04x} decoded as a (wrong) summary"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_named() {
+    let mut bytes = encoded(Layout::Dispersed);
+    bytes[0..4].copy_from_slice(b"NOPE");
+    match decode(&bytes) {
+        Err(CwsError::Codec { kind: CodecErrorKind::BadMagic { found }, offset }) => {
+            assert_eq!(&found, b"NOPE");
+            assert_eq!(offset, 0);
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_version_is_named() {
+    let mut bytes = encoded(Layout::Colocated);
+    bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+    match decode(&bytes) {
+        Err(CwsError::Codec { kind: CodecErrorKind::UnsupportedVersion { found }, offset }) => {
+            assert_eq!(found, 9);
+            assert_eq!(offset, 4);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn declared_length_overflow_is_named() {
+    // A dispersed body starts with the first sketch's next_rank (8 bytes)
+    // followed by its entry count — patch the count sky-high.
+    let mut bytes = encoded(Layout::Dispersed);
+    let count_offset = HEADER_LEN + 8;
+    bytes[count_offset..count_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    match decode(&bytes) {
+        Err(CwsError::Codec {
+            kind: CodecErrorKind::LengthOverflow { declared, limit }, ..
+        }) => {
+            assert_eq!(declared, u64::MAX);
+            assert_eq!(limit, 8, "the limit is the header's k");
+        }
+        other => panic!("expected LengthOverflow, got {other:?}"),
+    }
+
+    // Header-level overflows: k and the assignment count are bounded before
+    // anything is allocated.
+    let mut bytes = encoded(Layout::Dispersed);
+    bytes[16..24].copy_from_slice(&(MAX_K + 1).to_le_bytes());
+    restamp_header(&mut bytes);
+    assert!(matches!(
+        decode(&bytes),
+        Err(CwsError::Codec { kind: CodecErrorKind::LengthOverflow { .. }, offset: 16 })
+    ));
+
+    let mut bytes = encoded(Layout::Dispersed);
+    bytes[32..40].copy_from_slice(&(MAX_ASSIGNMENTS + 1).to_le_bytes());
+    restamp_header(&mut bytes);
+    assert!(matches!(
+        decode(&bytes),
+        Err(CwsError::Codec { kind: CodecErrorKind::LengthOverflow { .. }, offset: 32 })
+    ));
+}
+
+#[test]
+fn header_field_corruption_is_typed() {
+    // Unpatched header bytes are caught by the header checksum…
+    let mut bytes = encoded(Layout::Dispersed);
+    bytes[6] = 1 - bytes[6];
+    assert!(matches!(
+        decode(&bytes),
+        Err(CwsError::Codec { kind: CodecErrorKind::ChecksumMismatch { section: "header" }, .. })
+    ));
+
+    // …and a re-stamped illegal tag byte by its dedicated check.
+    for (offset, value, field) in [
+        (6usize, 7u8, "layout"),
+        (7, 9, "rank family"),
+        (8, 3, "coordination"),
+        (12, 1, "reserved"),
+    ] {
+        let mut bytes = encoded(Layout::Dispersed);
+        bytes[offset] = value;
+        restamp_header(&mut bytes);
+        match decode(&bytes) {
+            Err(CwsError::Codec {
+                kind: CodecErrorKind::InvalidTag { field: found, value: v },
+                ..
+            }) => {
+                assert_eq!((found, v), (field, value));
+            }
+            other => panic!("expected InvalidTag for {field}, got {other:?}"),
+        }
+    }
+
+    // A re-stamped zero k is structurally readable but semantically
+    // impossible — typed as invalid content, not a panic.
+    let mut bytes = encoded(Layout::Dispersed);
+    bytes[16..24].copy_from_slice(&0u64.to_le_bytes());
+    restamp_header(&mut bytes);
+    assert!(matches!(
+        decode(&bytes),
+        Err(CwsError::Codec { kind: CodecErrorKind::Invalid { .. }, .. })
+    ));
+}
+
+#[test]
+fn body_corruption_past_the_checks_is_caught_by_the_body_checksum() {
+    // Flip one bit inside an entry's weight mantissa: still finite and
+    // positive, still sorted — only the body checksum can tell.
+    let bytes = encoded(Layout::Dispersed);
+    let weight_low_byte = HEADER_LEN + 8 + 8 + 8 + 8; // next_rank · count · key · rank
+    let mut corrupted = bytes.clone();
+    corrupted[weight_low_byte] ^= 0x01;
+    match decode(&corrupted) {
+        Err(CwsError::Codec { kind, .. }) => {
+            assert!(
+                matches!(kind, CodecErrorKind::ChecksumMismatch { section: "body" })
+                    || matches!(kind, CodecErrorKind::Invalid { .. }),
+                "got {kind:?}"
+            );
+        }
+        other => panic!("expected a codec error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_reports_how_much_was_missing() {
+    let bytes = encoded(Layout::Colocated);
+    match decode(&bytes[..HEADER_LEN - 5]) {
+        Err(CwsError::Codec { kind: CodecErrorKind::Truncated { expected }, .. }) => {
+            assert_eq!(expected, 5);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // Deep truncation mid-body.
+    match decode(&bytes[..bytes.len() - 3]) {
+        Err(CwsError::Codec { kind: CodecErrorKind::Truncated { expected }, .. }) => {
+            assert_eq!(expected, 3);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    use cws_hash::RandomSource;
+    let mut rng = common::case_rng("codec_garbage", 0);
+    for len in [0usize, 1, 7, 47, 48, 64, 257, 4096] {
+        for _ in 0..8 {
+            let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            match codec::summary_from_bytes(&garbage) {
+                Err(CwsError::Codec { .. }) => {}
+                Err(other) => panic!("garbage of {len} bytes: non-codec error {other}"),
+                Ok(_) => panic!("garbage of {len} bytes decoded"),
+            }
+        }
+    }
+}
