@@ -53,6 +53,30 @@ pub enum CwsError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A sharded-ingestion worker failed to accept a batch or return a
+    /// buffer within the stall timeout. The worker may still be alive (a
+    /// slow disk, scheduler starvation); the push that observed the stall
+    /// did **not** ingest its records and can be retried, escalated to
+    /// [`ShardedDispersedSampler::respawn`](https://docs.rs/cws-stream), or
+    /// reported to the operator.
+    ShardStalled {
+        /// Index of the stalled shard.
+        shard: usize,
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A snapshot-store filesystem operation failed (create, write, fsync,
+    /// rename, scan, remove). The store directory is never left in a state
+    /// that `recover()` cannot repair: publishes are temp-file + fsync +
+    /// rename, so a failure mid-publish leaves the previous epoch intact.
+    Store {
+        /// The operation that failed (`"create"`, `"write"`, `"rename"`…).
+        op: &'static str,
+        /// The path involved, rendered to text.
+        path: String,
+        /// The underlying error, rendered to text.
+        message: String,
+    },
     /// A serialized summary could not be decoded (or written): the input is
     /// truncated, corrupted, from an unknown format version, or an I/O
     /// operation failed. Every malformed input maps to one of the
@@ -184,6 +208,12 @@ impl fmt::Display for CwsError {
             CwsError::ShardWorkerPanicked { shard, message } => {
                 write!(f, "shard {shard} worker thread panicked: {message}")
             }
+            CwsError::ShardStalled { shard, timeout_ms } => {
+                write!(f, "shard {shard} did not accept traffic within {timeout_ms} ms (stalled)")
+            }
+            CwsError::Store { op, path, message } => {
+                write!(f, "snapshot store `{op}` failed on `{path}`: {message}")
+            }
             CwsError::Codec { kind, offset } => {
                 write!(f, "summary codec error at byte {offset}: {kind}")
             }
@@ -218,6 +248,15 @@ mod tests {
         let e = CwsError::ShardWorkerPanicked { shard: 3, message: "boom".into() };
         assert!(e.to_string().contains("shard 3"));
         assert!(e.to_string().contains("boom"));
+
+        let e = CwsError::ShardStalled { shard: 2, timeout_ms: 250 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("250"));
+
+        let e = CwsError::Store { op: "rename", path: "/tmp/x".into(), message: "denied".into() };
+        assert!(e.to_string().contains("rename"));
+        assert!(e.to_string().contains("/tmp/x"));
+        assert!(e.to_string().contains("denied"));
 
         let e = CwsError::Codec { kind: CodecErrorKind::Truncated { expected: 8 }, offset: 17 };
         assert!(e.to_string().contains("byte 17"));

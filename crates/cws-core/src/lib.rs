@@ -65,6 +65,7 @@ pub mod columns;
 pub mod coordination;
 pub mod error;
 pub mod estimate;
+pub mod fault;
 pub mod ranks;
 pub mod sketch;
 pub mod summary;
@@ -82,6 +83,7 @@ pub use error::{CodecErrorKind, CwsError, Result};
 pub use estimate::adjusted::AdjustedWeights;
 pub use estimate::colocated::{InclusiveEstimator, PlainEstimator};
 pub use estimate::dispersed::{DispersedEstimator, SelectionKind};
+pub use fault::{FaultPlan, WorkerFault};
 pub use ranks::RankFamily;
 pub use summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 pub use weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::estimate::adjusted::AdjustedWeights;
     pub use crate::estimate::colocated::{InclusiveEstimator, PlainEstimator};
     pub use crate::estimate::dispersed::{DispersedEstimator, SelectionKind};
+    pub use crate::fault::{FaultPlan, WorkerFault};
     pub use crate::ranks::RankFamily;
     pub use crate::sketch::bottomk::BottomKSketch;
     pub use crate::sketch::kmins::KMinsSketch;

@@ -22,6 +22,20 @@
 //! Every epoch uses the same seed, so keys keep their rank functions across
 //! epochs: summaries of different epochs are themselves coordinated and can
 //! be compared or paired sketch-by-sketch without resampling.
+//!
+//! # Degraded-mode serving
+//!
+//! A long-lived service must keep answering queries through a failure. When
+//! [`publish`](EpochedPipeline::publish) fails — a sharded worker panicked
+//! mid-epoch, a stalled shard timed out, the snapshot store rejected the
+//! write — the pipeline does **not** stop serving:
+//! [`latest`](EpochedPipeline::latest) keeps returning the last good
+//! snapshot, ingestion resumes into a fresh same-seed pipeline, and
+//! [`degraded`](EpochedPipeline::degraded) reports the typed cause plus
+//! staleness counters ([`DegradedState`]). The first successful publish
+//! clears the state. Lost records are *counted, never hidden* — the
+//! recovery route is [`SnapshotStore::recover`](crate::store::SnapshotStore)
+//! plus re-ingesting the failed epoch from its durable source.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -33,7 +47,28 @@ use cws_core::{CwsError, Key, Result};
 use crate::ingest::Ingest;
 use crate::pipeline::{Pipeline, PipelineBuilder};
 use crate::query::Query;
+use crate::store::SnapshotStore;
 use crate::summary::Summary;
+
+/// Why (and how badly) the service is serving stale data — the payload of
+/// [`EpochedPipeline::degraded`].
+///
+/// Present from the first failed publish until the next successful one.
+/// While degraded, [`EpochedPipeline::latest`] still serves the last good
+/// snapshot; the counters quantify the staleness an operator is accepting.
+#[derive(Debug, Clone)]
+pub struct DegradedState {
+    /// The typed error of the **most recent** failed publish.
+    pub reason: CwsError,
+    /// Consecutive failed publishes since the last successful one.
+    pub failed_publishes: u64,
+    /// Records ingested into epochs whose publish failed — data that is in
+    /// no published snapshot and must be re-ingested from its durable
+    /// source after recovery. Publishes that failed only at the *store*
+    /// layer (snapshot serving succeeded, durability did not) do not add
+    /// here.
+    pub records_lost: u64,
+}
 
 /// What [`EpochedPipeline::publish`] returns: the closed epoch's snapshot
 /// plus its bookkeeping.
@@ -71,6 +106,7 @@ pub struct EpochedPipeline {
     current: Pipeline,
     epoch: u64,
     latest: Option<Arc<Summary>>,
+    degraded: Option<DegradedState>,
 }
 
 impl EpochedPipeline {
@@ -82,7 +118,7 @@ impl EpochedPipeline {
     /// As [`PipelineBuilder::build`].
     pub fn new(builder: PipelineBuilder) -> Result<Self> {
         let current = builder.clone().build()?;
-        Ok(Self { builder, current, epoch: 0, latest: None })
+        Ok(Self { builder, current, epoch: 0, latest: None, degraded: None })
     }
 
     /// The pipeline ingesting the current (unpublished) epoch.
@@ -98,9 +134,38 @@ impl EpochedPipeline {
     }
 
     /// The most recently published snapshot, if any.
+    ///
+    /// Keeps serving the **last good** snapshot through failed publishes —
+    /// degraded-mode serving; check [`degraded`](Self::degraded) for
+    /// staleness.
     #[must_use]
     pub fn latest(&self) -> Option<Arc<Summary>> {
         self.latest.clone()
+    }
+
+    /// The degraded state, present from the first failed publish until the
+    /// next successful one. `None` means the service is healthy and
+    /// [`latest`](Self::latest) is the newest closed epoch.
+    #[must_use]
+    pub fn degraded(&self) -> Option<&DegradedState> {
+        self.degraded.as_ref()
+    }
+
+    /// `true` when the last publish attempt failed (stale serving).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Seeds [`latest`](Self::latest) and the epoch counter from a
+    /// recovered snapshot — the restart half of the recovery procedure:
+    /// after [`SnapshotStore::recover`](crate::store::SnapshotStore::recover)
+    /// returns its last good `(epoch, summary)`, resuming from it lets the
+    /// service answer queries immediately while the next epoch refills.
+    pub fn resume_from(&mut self, epoch: u64, summary: Arc<Summary>) {
+        self.epoch = epoch;
+        self.latest = Some(summary);
+        self.degraded = None;
     }
 
     /// Closes the current epoch: swaps in a fresh pipeline (same
@@ -108,18 +173,79 @@ impl EpochedPipeline {
     /// its summary as an immutable snapshot.
     ///
     /// # Errors
-    /// As [`PipelineBuilder::build`] and [`Ingest::finalize`]; on error the
-    /// pipeline state is unchanged (build failures) or the epoch's data is
-    /// lost with the error reported (finalize failures, e.g. a sharded
-    /// worker panic).
+    /// As [`PipelineBuilder::build`] and [`Ingest::finalize`]. Either way
+    /// the service **keeps serving**: [`latest`](Self::latest) still
+    /// returns the last good snapshot, ingestion continues into a fresh
+    /// same-seed pipeline (build failures leave the current epoch's
+    /// pipeline in place instead), and [`degraded`](Self::degraded) carries
+    /// the typed reason with staleness counters until a publish succeeds.
+    /// A finalize failure (e.g. a sharded worker panic) loses the epoch's
+    /// records — counted in [`DegradedState::records_lost`], recovered by
+    /// re-ingesting from the durable source.
     pub fn publish(&mut self) -> Result<EpochReport> {
-        let replacement = self.builder.clone().build()?;
+        let replacement = match self.builder.clone().build() {
+            Ok(replacement) => replacement,
+            Err(error) => {
+                self.mark_degraded(error.clone(), 0);
+                return Err(error);
+            }
+        };
         let outgoing = std::mem::replace(&mut self.current, replacement);
         let records = outgoing.processed();
-        let summary = Arc::new(outgoing.finalize()?);
+        let summary = match outgoing.finalize() {
+            Ok(summary) => Arc::new(summary),
+            Err(error) => {
+                self.mark_degraded(error.clone(), records);
+                return Err(error);
+            }
+        };
         self.epoch += 1;
         self.latest = Some(Arc::clone(&summary));
+        self.degraded = None;
         Ok(EpochReport { epoch: self.epoch, records, summary })
+    }
+
+    /// [`publish`](Self::publish), then durably persist the snapshot into
+    /// `store` under its epoch number.
+    ///
+    /// # Errors
+    /// As [`publish`](Self::publish) for the in-memory half. If only the
+    /// *store* write fails, the snapshot **was** published in memory
+    /// ([`latest`](Self::latest) serves it, no records were lost) but is
+    /// not durable; the pipeline is marked degraded with the store's typed
+    /// error so the operator knows durability is behind serving.
+    pub fn publish_into(&mut self, store: &mut SnapshotStore) -> Result<EpochReport> {
+        let report = self.publish()?;
+        if let Err(error) = store.publish(report.epoch, &report.summary) {
+            self.mark_degraded(error.clone(), 0);
+            return Err(error);
+        }
+        Ok(report)
+    }
+
+    /// Accumulates a failed publish into the degraded state.
+    fn mark_degraded(&mut self, reason: CwsError, records_lost: u64) {
+        let state = self.degraded.get_or_insert(DegradedState {
+            reason: reason.clone(),
+            failed_publishes: 0,
+            records_lost: 0,
+        });
+        state.reason = reason;
+        state.failed_publishes += 1;
+        state.records_lost += records_lost;
+    }
+
+    /// Fault injection into the current epoch's sharded back-end — see
+    /// [`Pipeline::inject_worker_fault`].
+    ///
+    /// # Errors
+    /// As [`Pipeline::inject_worker_fault`].
+    pub fn inject_worker_fault(
+        &mut self,
+        shard: usize,
+        fault: cws_core::WorkerFault,
+    ) -> Result<()> {
+        self.current.inject_worker_fault(shard, fault)
     }
 
     /// Absorbs one unaggregated element into the current epoch (requires an
@@ -230,7 +356,10 @@ impl WindowedPipeline {
     /// beyond capacity) and starts the next one.
     ///
     /// # Errors
-    /// As [`EpochedPipeline::publish`].
+    /// As [`EpochedPipeline::publish`]. On failure the ring is untouched —
+    /// every retained window keeps serving, drift queries included — and
+    /// [`degraded`](Self::degraded) carries the typed reason until a roll
+    /// succeeds.
     pub fn roll(&mut self) -> Result<EpochReport> {
         let report = self.epochs.publish()?;
         if self.windows.len() == self.capacity {
@@ -238,6 +367,35 @@ impl WindowedPipeline {
         }
         self.windows.push_front(Arc::clone(&report.summary));
         Ok(report)
+    }
+
+    /// [`roll`](Self::roll), durably persisting the closed window into
+    /// `store` — semantics as [`EpochedPipeline::publish_into`].
+    ///
+    /// # Errors
+    /// As [`EpochedPipeline::publish_into`]; a store-only failure still
+    /// retains the window in the ring.
+    pub fn roll_into(&mut self, store: &mut SnapshotStore) -> Result<EpochReport> {
+        let report = self.roll()?;
+        if let Err(error) = store.publish(report.epoch, &report.summary) {
+            self.epochs.mark_degraded(error.clone(), 0);
+            return Err(error);
+        }
+        Ok(report)
+    }
+
+    /// The degraded state of the underlying epoched pipeline (present from
+    /// a failed roll until the next successful one).
+    #[must_use]
+    pub fn degraded(&self) -> Option<&DegradedState> {
+        self.epochs.degraded()
+    }
+
+    /// `true` when the last roll attempt failed (the ring is serving stale
+    /// windows).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.epochs.is_degraded()
     }
 
     /// The `age`-th most recent closed window (0 = last rolled), if it is
@@ -463,6 +621,89 @@ mod tests {
         assert!(windows.window(2).is_none());
         let err = windows.drift(0, 2).unwrap_err();
         assert!(matches!(err, CwsError::InvalidParameter { name: "window", .. }));
+    }
+
+    #[test]
+    fn worker_panic_degrades_but_keeps_serving() {
+        use cws_core::WorkerFault;
+        let mut epochs =
+            EpochedPipeline::new(dispersed_builder().execution(Execution::Sharded(2))).unwrap();
+        for key in 0..200u64 {
+            epochs.push_record(key, &[1.0 + (key % 5) as f64, 2.0]).unwrap();
+        }
+        let good = epochs.publish().unwrap();
+        assert!(!epochs.is_degraded());
+        // Kill a worker mid-epoch; ingest a few records (tolerating typed
+        // errors once the death is detected), then publish.
+        for key in 0..50u64 {
+            epochs.push_record(key, &[1.0, 1.0]).unwrap();
+        }
+        epochs.inject_worker_fault(1, WorkerFault::Panic).unwrap();
+        for key in 50..100u64 {
+            let _ = epochs.push_record(key, &[1.0, 1.0]);
+        }
+        let err = epochs.publish().unwrap_err();
+        assert!(matches!(err, CwsError::ShardWorkerPanicked { .. }), "{err:?}");
+        // Degraded-mode serving: latest() still answers with the last good
+        // snapshot, the typed cause and staleness counters are surfaced.
+        assert_eq!(epochs.latest().unwrap(), good.summary);
+        let state = epochs.degraded().unwrap();
+        assert!(matches!(state.reason, CwsError::ShardWorkerPanicked { .. }));
+        assert_eq!(state.failed_publishes, 1);
+        assert!(state.records_lost > 0, "the lost epoch's records are counted");
+        assert_eq!(epochs.epochs_published(), 1, "the failed epoch is not numbered");
+        // Ingestion already resumed into a fresh same-seed pipeline; the
+        // next publish succeeds and clears the degraded state.
+        for key in 0..200u64 {
+            epochs.push_record(key, &[1.0 + (key % 5) as f64, 2.0]).unwrap();
+        }
+        let recovered = epochs.publish().unwrap();
+        assert_eq!(recovered.epoch, 2);
+        assert!(!epochs.is_degraded());
+        // Same seed + same records as epoch 1 ⇒ bit-identical snapshot.
+        assert_eq!(recovered.summary, good.summary);
+    }
+
+    #[test]
+    fn store_failure_marks_degraded_without_losing_records() {
+        let dir =
+            std::env::temp_dir().join(format!("cws-continuous-storefail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = crate::store::SnapshotStore::open(&dir, 4).unwrap();
+        let mut epochs = EpochedPipeline::new(dispersed_builder()).unwrap();
+        epochs.push_record(1, &[1.0, 2.0]).unwrap();
+        epochs.publish_into(&mut store).unwrap();
+        assert_eq!(store.epochs().unwrap(), vec![1]);
+        // Sabotage the store directory so the next durable publish fails.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        epochs.push_record(2, &[3.0, 4.0]).unwrap();
+        let err = epochs.publish_into(&mut store).unwrap_err();
+        assert!(matches!(err, CwsError::Store { .. }), "{err:?}");
+        let state = epochs.degraded().unwrap();
+        assert!(matches!(state.reason, CwsError::Store { .. }));
+        // The snapshot *was* published in memory — serving is ahead of
+        // durability, and no records were lost.
+        assert_eq!(state.records_lost, 0);
+        assert_eq!(epochs.epochs_published(), 2);
+        assert_eq!(epochs.latest().unwrap().num_distinct_keys(), 1);
+        std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_from_restores_serving_after_restart() {
+        let mut epochs = EpochedPipeline::new(dispersed_builder()).unwrap();
+        epochs.push_record(7, &[1.0, 1.0]).unwrap();
+        let report = epochs.publish().unwrap();
+        // A "restarted" instance seeded from recovery serves immediately.
+        let mut restarted = EpochedPipeline::new(dispersed_builder()).unwrap();
+        assert!(restarted.latest().is_none());
+        restarted.resume_from(report.epoch, Arc::clone(&report.summary));
+        assert_eq!(restarted.latest().unwrap(), report.summary);
+        assert_eq!(restarted.epochs_published(), 1);
+        assert!(!restarted.is_degraded());
+        restarted.push_record(8, &[2.0, 2.0]).unwrap();
+        assert_eq!(restarted.publish().unwrap().epoch, 2);
     }
 
     #[test]

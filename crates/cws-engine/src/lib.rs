@@ -54,21 +54,26 @@ pub mod continuous;
 pub mod ingest;
 pub mod pipeline;
 pub mod query;
+pub mod store;
 pub mod summary;
 
 pub use aggregation::{Aggregation, KeyAggregator};
-pub use continuous::{Drift, EpochReport, EpochedPipeline, WindowedPipeline};
+pub use continuous::{DegradedState, Drift, EpochReport, EpochedPipeline, WindowedPipeline};
 pub use ingest::Ingest;
 pub use pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
 pub use query::{Estimate, Query};
+pub use store::{QuarantinedSnapshot, RecoveryReport, SnapshotStore};
 pub use summary::Summary;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::aggregation::Aggregation;
-    pub use crate::continuous::{Drift, EpochReport, EpochedPipeline, WindowedPipeline};
+    pub use crate::continuous::{
+        DegradedState, Drift, EpochReport, EpochedPipeline, WindowedPipeline,
+    };
     pub use crate::ingest::Ingest;
     pub use crate::pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
     pub use crate::query::{Estimate, Query};
+    pub use crate::store::{QuarantinedSnapshot, RecoveryReport, SnapshotStore};
     pub use crate::summary::Summary;
 }

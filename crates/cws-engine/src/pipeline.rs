@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use cws_core::columns::RecordColumns;
 use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
-use cws_core::{CoordinationMode, CwsError, Key, RankFamily, Result};
+use cws_core::{CoordinationMode, CwsError, Key, RankFamily, Result, WorkerFault};
 use cws_stream::{
     merge_disjoint_colocated, merge_disjoint_summaries_ref, ColocatedStreamSampler,
     MultiAssignmentStreamSampler, ShardedDispersedSampler,
@@ -392,6 +392,31 @@ impl Pipeline {
                     .collect::<Result<_>>()?;
                 Ok(Summary::Dispersed(merge_disjoint_summaries_ref(&parts)?))
             }
+        }
+    }
+
+    /// Instructs one worker of a **sharded** back-end to exhibit `fault`
+    /// (panic, stall) when it processes its next message — the
+    /// deterministic fault-injection entry point the fault battery uses to
+    /// exercise supervision and degraded-mode serving end to end. See
+    /// [`ShardedDispersedSampler::inject_worker_fault`].
+    ///
+    /// # Errors
+    /// A typed error when the pipeline is not sharded, the shard's worker
+    /// is already dead (its harvested failure), or the fault could not be
+    /// delivered within the stall timeout.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range for the sharded back-end.
+    pub fn inject_worker_fault(&mut self, shard: usize, fault: WorkerFault) -> Result<()> {
+        match &mut self.backend {
+            Backend::Sharded(sampler) => sampler.inject_worker_fault(shard, fault),
+            Backend::Colocated(_) | Backend::HashOnce(_) => Err(CwsError::InvalidParameter {
+                name: "execution",
+                message: "worker-fault injection targets shard workers; this pipeline runs \
+                          single-threaded (Execution::Sequential)"
+                    .to_string(),
+            }),
         }
     }
 

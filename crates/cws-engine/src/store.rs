@@ -1,0 +1,467 @@
+//! Durable, crash-safe storage for published epoch snapshots.
+//!
+//! [`SnapshotStore`] gives the continuous pipelines
+//! ([`EpochedPipeline`](crate::continuous::EpochedPipeline),
+//! [`WindowedPipeline`](crate::continuous::WindowedPipeline)) a durable
+//! home: one directory holding one file per published epoch, written so
+//! that a crash at **any byte** of a publish leaves the store recoverable
+//! to the last good epoch bit-exactly.
+//!
+//! # Layout
+//!
+//! ```text
+//! store/
+//! ├── MANIFEST                         # advisory text index, last write wins
+//! ├── epoch-00000000000000000007.cws   # one serialized Summary per epoch
+//! ├── epoch-00000000000000000008.cws
+//! ├── epoch-00000000000000000009.cws.tmp          # in-flight publish (crash leftover)
+//! └── epoch-00000000000000000006.cws.quarantined  # corrupt file, kept for forensics
+//! ```
+//!
+//! # Crash safety
+//!
+//! A publish is *atomic*: the snapshot is encoded into `<name>.tmp`, the
+//! file is `fsync`ed, then renamed to its final name (and on Unix the
+//! directory is fsynced so the rename itself is durable). A crash before
+//! the rename leaves only a `.tmp` file — removed on recovery; a crash
+//! after the rename leaves a complete, checksummed snapshot. The rename is
+//! the commit point; there is no state in between in which a reader can
+//! observe a half-written `epoch-*.cws`.
+//!
+//! If a torn file nevertheless appears under a final name (a corrupt disk,
+//! a partial copy from elsewhere), the [codec's](cws_core::codec) header
+//! and body checksums catch it: [`SnapshotStore::recover`] decodes every
+//! `epoch-*.cws`, renames files that fail to `<name>.quarantined` (with the
+//! typed decode error in the report), and resumes from the **highest epoch
+//! that decodes cleanly**.
+//!
+//! The `MANIFEST` file is an advisory index for operators (`cat MANIFEST`
+//! tells you what the store holds) — recovery never trusts it; the scan and
+//! the checksums are the source of truth.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cws_core::{CwsError, Result};
+
+use crate::summary::Summary;
+
+/// File-name prefix of an epoch snapshot.
+const EPOCH_PREFIX: &str = "epoch-";
+/// File-name suffix of a committed epoch snapshot.
+const EPOCH_SUFFIX: &str = ".cws";
+/// Suffix of an in-flight (uncommitted) publish.
+const TEMP_SUFFIX: &str = ".tmp";
+/// Suffix a corrupt snapshot is renamed to by recovery.
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+/// Name of the advisory manifest file.
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Width of the zero-padded epoch number in file names: u64::MAX has 20
+/// decimal digits, so lexicographic order equals numeric order.
+const EPOCH_DIGITS: usize = 20;
+
+fn store_error(op: &'static str, path: &Path, error: &std::io::Error) -> CwsError {
+    CwsError::Store { op, path: path.display().to_string(), message: error.to_string() }
+}
+
+/// A quarantined file found during [`SnapshotStore::recover`].
+#[derive(Debug, Clone)]
+pub struct QuarantinedSnapshot {
+    /// The file's path *after* quarantining (`…​.cws.quarantined`).
+    pub path: PathBuf,
+    /// The epoch number parsed from the file name.
+    pub epoch: u64,
+    /// The typed decode error that condemned it.
+    pub error: CwsError,
+}
+
+/// What [`SnapshotStore::recover`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// The highest epoch whose snapshot decoded cleanly, with the summary
+    /// itself — byte-for-byte the one that was published.
+    pub last_good: Option<(u64, Arc<Summary>)>,
+    /// Corrupt snapshots renamed to `…​.quarantined`, with their typed
+    /// decode errors. Empty in every run that did not hit disk corruption.
+    pub quarantined: Vec<QuarantinedSnapshot>,
+    /// Number of abandoned `…​.tmp` files (crashes mid-publish) removed.
+    pub removed_temps: usize,
+}
+
+/// A directory of epoch snapshots with atomic publish, bounded retention
+/// and checksum-verified recovery.
+///
+/// ```no_run
+/// use cws_engine::prelude::*;
+/// use cws_engine::store::SnapshotStore;
+///
+/// let mut store = SnapshotStore::open("/var/lib/cws/snapshots", 24).unwrap();
+/// let report = store.recover().unwrap();
+/// if let Some((epoch, summary)) = report.last_good {
+///     println!("resuming after epoch {epoch}: {} keys", summary.num_distinct_keys());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    retention: usize,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if necessary) the store directory, retaining at most
+    /// `retention` committed epochs (older ones are pruned at publish
+    /// time). `retention` is clamped to at least 1 — a store that retains
+    /// nothing cannot recover anything.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, retention: usize) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| store_error("create_dir", &dir, &e))?;
+        Ok(Self { dir, retention: retention.max(1) })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many committed epochs the store retains.
+    #[must_use]
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    fn epoch_file_name(epoch: u64) -> String {
+        format!("{EPOCH_PREFIX}{epoch:0EPOCH_DIGITS$}{EPOCH_SUFFIX}")
+    }
+
+    /// The path a given epoch's snapshot lives at (whether or not it
+    /// currently exists).
+    #[must_use]
+    pub fn epoch_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(Self::epoch_file_name(epoch))
+    }
+
+    /// Parses `epoch-<n>.cws` → `n`. Returns `None` for anything else
+    /// (temps, quarantined files, the manifest, foreign files).
+    fn parse_epoch(file_name: &str) -> Option<u64> {
+        let digits = file_name.strip_prefix(EPOCH_PREFIX)?.strip_suffix(EPOCH_SUFFIX)?;
+        if digits.len() != EPOCH_DIGITS || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Durably publishes `summary` as `epoch`'s snapshot: encode to a temp
+    /// file, fsync, rename into place, fsync the directory, refresh the
+    /// manifest and prune epochs beyond the retention bound.
+    ///
+    /// The rename is the commit point — a crash anywhere before it leaves
+    /// the previous epoch untouched and only a `.tmp` leftover;
+    /// [`recover`](Self::recover) removes those.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] for filesystem failures, [`CwsError::Codec`] if
+    /// encoding fails. On error the final file is either absent or the
+    /// previous complete version — never torn.
+    pub fn publish(&mut self, epoch: u64, summary: &Summary) -> Result<PathBuf> {
+        let final_path = self.epoch_path(epoch);
+        let temp_path = {
+            let mut name = Self::epoch_file_name(epoch);
+            name.push_str(TEMP_SUFFIX);
+            self.dir.join(name)
+        };
+        let mut file =
+            fs::File::create(&temp_path).map_err(|e| store_error("create", &temp_path, &e))?;
+        let write_result = summary
+            .write_to(&mut file)
+            .and_then(|()| file.sync_all().map_err(|e| store_error("fsync", &temp_path, &e)));
+        if let Err(error) = write_result {
+            // Best-effort cleanup; the leftover is harmless either way
+            // (recover() removes temps).
+            drop(file);
+            let _ = fs::remove_file(&temp_path);
+            return Err(error);
+        }
+        drop(file);
+        fs::rename(&temp_path, &final_path).map_err(|e| store_error("rename", &final_path, &e))?;
+        self.sync_dir()?;
+        self.prune()?;
+        self.write_manifest()?;
+        Ok(final_path)
+    }
+
+    /// Loads one epoch's snapshot, verifying its checksums.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] when the file cannot be opened/read,
+    /// [`CwsError::Codec`] when it does not decode cleanly.
+    pub fn load(&self, epoch: u64) -> Result<Summary> {
+        let path = self.epoch_path(epoch);
+        let mut file = fs::File::open(&path).map_err(|e| store_error("open", &path, &e))?;
+        Summary::read_from(&mut file)
+    }
+
+    /// Epoch numbers of the committed snapshots currently on disk,
+    /// ascending.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] when the directory cannot be scanned.
+    pub fn epochs(&self) -> Result<Vec<u64>> {
+        let mut epochs: Vec<u64> =
+            self.scan()?.into_iter().filter_map(|name| Self::parse_epoch(&name)).collect();
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// Scans the store, removes abandoned `.tmp` files, quarantines
+    /// snapshots that fail their checksums, and returns the highest epoch
+    /// that decodes cleanly (with its summary).
+    ///
+    /// Recovery is idempotent: running it twice changes nothing the first
+    /// run did not already fix, and it never deletes a committed snapshot —
+    /// corrupt files are renamed, not removed, so an operator can inspect
+    /// them.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] when the directory cannot be scanned or a
+    /// quarantine rename fails. Decode failures are *not* errors — they are
+    /// reported in [`RecoveryReport::quarantined`].
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        let mut good: Vec<(u64, PathBuf)> = Vec::new();
+        for name in self.scan()? {
+            let path = self.dir.join(&name);
+            if name.ends_with(TEMP_SUFFIX) {
+                fs::remove_file(&path).map_err(|e| store_error("remove", &path, &e))?;
+                report.removed_temps += 1;
+                continue;
+            }
+            let Some(epoch) = Self::parse_epoch(&name) else { continue };
+            match fs::File::open(&path)
+                .map_err(|e| store_error("open", &path, &e))
+                .and_then(|mut file| Summary::read_from(&mut file))
+            {
+                Ok(_) => good.push((epoch, path)),
+                Err(error) => {
+                    let mut quarantined = path.clone().into_os_string();
+                    quarantined.push(QUARANTINE_SUFFIX);
+                    let quarantined = PathBuf::from(quarantined);
+                    fs::rename(&path, &quarantined)
+                        .map_err(|e| store_error("quarantine", &path, &e))?;
+                    report.quarantined.push(QuarantinedSnapshot {
+                        path: quarantined,
+                        epoch,
+                        error,
+                    });
+                }
+            }
+        }
+        good.sort_unstable_by_key(|(epoch, _)| *epoch);
+        if let Some((epoch, path)) = good.last() {
+            // Re-read the winner (files are small relative to the cost of
+            // keeping every candidate decoded in memory).
+            let mut file = fs::File::open(path).map_err(|e| store_error("open", path, &e))?;
+            let summary = Summary::read_from(&mut file)?;
+            report.last_good = Some((*epoch, Arc::new(summary)));
+        }
+        self.sync_dir()?;
+        self.write_manifest()?;
+        Ok(report)
+    }
+
+    /// File names in the store directory (no recursion; subdirectories are
+    /// ignored).
+    fn scan(&self) -> Result<Vec<String>> {
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| store_error("read_dir", &self.dir, &e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| store_error("read_dir", &self.dir, &e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Deletes committed epochs beyond the retention bound (oldest first).
+    fn prune(&self) -> Result<()> {
+        let epochs = self.epochs()?;
+        if epochs.len() > self.retention {
+            for &epoch in &epochs[..epochs.len() - self.retention] {
+                let path = self.epoch_path(epoch);
+                fs::remove_file(&path).map_err(|e| store_error("remove", &path, &e))?;
+            }
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the advisory `MANIFEST` atomically (temp + rename).
+    fn write_manifest(&self) -> Result<()> {
+        let epochs = self.epochs()?;
+        let mut text = String::from("# cws snapshot store manifest (advisory; recovery rescans)\n");
+        text.push_str(&format!("retention {}\n", self.retention));
+        for epoch in &epochs {
+            text.push_str(&format!("epoch {epoch} {}\n", Self::epoch_file_name(*epoch)));
+        }
+        let final_path = self.dir.join(MANIFEST_NAME);
+        let temp_path = self.dir.join(format!("{MANIFEST_NAME}{TEMP_SUFFIX}"));
+        let mut file =
+            fs::File::create(&temp_path).map_err(|e| store_error("create", &temp_path, &e))?;
+        file.write_all(text.as_bytes()).map_err(|e| store_error("write", &temp_path, &e))?;
+        file.sync_all().map_err(|e| store_error("fsync", &temp_path, &e))?;
+        drop(file);
+        fs::rename(&temp_path, &final_path).map_err(|e| store_error("rename", &final_path, &e))
+    }
+
+    /// Fsyncs the store directory so renames within it are durable. On
+    /// non-Unix platforms directories cannot be opened for syncing; the
+    /// rename is still atomic, only its durability timing is left to the
+    /// OS.
+    fn sync_dir(&self) -> Result<()> {
+        #[cfg(unix)]
+        {
+            let dir =
+                fs::File::open(&self.dir).map_err(|e| store_error("open_dir", &self.dir, &e))?;
+            dir.sync_all().map_err(|e| store_error("fsync_dir", &self.dir, &e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Ingest;
+    use crate::pipeline::{Layout, Pipeline};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh per-test directory under the OS temp dir (no external
+    /// tempfile crate in the offline build).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("cws-store-{tag}-{}-{unique}", std::process::id()));
+        if dir.exists() {
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    fn sample_summary(seed: u64, records: u64) -> Summary {
+        let mut pipeline = Pipeline::builder()
+            .assignments(2)
+            .k(16)
+            .layout(Layout::Dispersed)
+            .seed(seed)
+            .build()
+            .unwrap();
+        for key in 0..records {
+            pipeline.push_record(key, &[((key % 7) + 1) as f64, ((key % 3) + 1) as f64]).unwrap();
+        }
+        pipeline.finalize().unwrap()
+    }
+
+    #[test]
+    fn publish_load_roundtrip_is_bit_exact() {
+        let dir = scratch_dir("roundtrip");
+        let mut store = SnapshotStore::open(&dir, 8).unwrap();
+        let summary = sample_summary(3, 200);
+        let path = store.publish(7, &summary).unwrap();
+        assert!(path.ends_with("epoch-00000000000000000007.cws"));
+        assert_eq!(store.load(7).unwrap(), summary);
+        assert_eq!(store.epochs().unwrap(), vec![7]);
+        // The manifest names the epoch.
+        let manifest = fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        assert!(manifest.contains("epoch 7 "), "{manifest}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_oldest_epochs() {
+        let dir = scratch_dir("retention");
+        let mut store = SnapshotStore::open(&dir, 3).unwrap();
+        for epoch in 1..=6u64 {
+            store.publish(epoch, &sample_summary(9, 50 + epoch)).unwrap();
+        }
+        assert_eq!(store.epochs().unwrap(), vec![4, 5, 6]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_removes_temps_and_resumes_last_good() {
+        let dir = scratch_dir("recover");
+        let mut store = SnapshotStore::open(&dir, 8).unwrap();
+        let old = sample_summary(5, 100);
+        let new = sample_summary(5, 300);
+        store.publish(1, &old).unwrap();
+        store.publish(2, &new).unwrap();
+        // A crash mid-publish leaves a .tmp with arbitrary garbage.
+        fs::write(dir.join("epoch-00000000000000000003.cws.tmp"), b"partial").unwrap();
+        // Foreign files are ignored.
+        fs::write(dir.join("README"), b"not a snapshot").unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.removed_temps, 1);
+        assert!(report.quarantined.is_empty());
+        let (epoch, summary) = report.last_good.unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(*summary, new);
+        assert!(!dir.join("epoch-00000000000000000003.cws.tmp").exists());
+        assert!(dir.join("README").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_quarantines_corrupt_snapshots() {
+        let dir = scratch_dir("quarantine");
+        let mut store = SnapshotStore::open(&dir, 8).unwrap();
+        let good = sample_summary(2, 150);
+        store.publish(1, &good).unwrap();
+        store.publish(2, &sample_summary(2, 250)).unwrap();
+        // Corrupt epoch 2 (flip a body byte): the checksum must condemn it
+        // and recovery must fall back to epoch 1.
+        let path = store.epoch_path(2);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].epoch, 2);
+        assert!(matches!(report.quarantined[0].error, CwsError::Codec { .. }));
+        assert!(report.quarantined[0].path.to_string_lossy().ends_with(".quarantined"));
+        assert!(report.quarantined[0].path.exists());
+        assert!(!path.exists(), "the corrupt file must be moved aside");
+        let (epoch, summary) = report.last_good.unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(*summary, good);
+        // Idempotent: a second recovery finds nothing new to fix.
+        let again = store.recover().unwrap();
+        assert_eq!(again.removed_temps, 0);
+        assert!(again.quarantined.is_empty());
+        assert_eq!(again.last_good.unwrap().0, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_empty_store_is_clean() {
+        let dir = scratch_dir("empty");
+        let mut store = SnapshotStore::open(&dir, 4).unwrap();
+        let report = store.recover().unwrap();
+        assert!(report.last_good.is_none());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.removed_temps, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,19 +36,44 @@
 //!   unsharded [`MultiAssignmentStreamSampler::push_columns`] — lanes arrive
 //!   contiguous, so sharding adds routing, not a different inner loop.
 //!
-//! # Failure handling
+//! # Supervision and failure handling
 //!
-//! A panicking worker is detected, never waited on forever: sends to a dead
-//! shard fail softly, and [`finalize`](ShardedDispersedSampler::finalize)
-//! joins every worker and reports the first panic as
-//! [`CwsError::ShardWorkerPanicked`] instead of hanging or propagating a
-//! poisoned join.
+//! Every lane is *supervised*: worker death and worker stalls are detected
+//! at the **push boundary**, typed, and recoverable — there is no window in
+//! which records are silently dropped.
+//!
+//! * **Dead worker, detected at push time.** A push that needs a dead
+//!   shard's channel joins the worker immediately and returns its cause as
+//!   the push's own error — [`CwsError::ShardWorkerPanicked`] for a panic,
+//!   the worker's typed error (e.g. an invalid weight in a zero-copy shared
+//!   batch) otherwise. The failing push's records were **not** ingested;
+//!   every later push to that shard returns the same error, and
+//!   [`finalize`](ShardedDispersedSampler::finalize) reports it too.
+//! * **Stalled worker, bounded waits.** Blocking paths (an empty recycle
+//!   pool, a full batch channel) wait at most the
+//!   [stall timeout](ShardedDispersedSampler::set_stall_timeout) and then
+//!   return [`CwsError::ShardStalled`]. A stall is *not* fatal: the batch
+//!   stays buffered on the producer side and the push that observed the
+//!   stall can be retried once the shard drains.
+//! * **Deterministic recovery.**
+//!   [`respawn`](ShardedDispersedSampler::respawn) drains and joins every
+//!   worker (dead or alive) and rebuilds
+//!   all lanes from the original configuration — same seed, same routing —
+//!   so re-ingesting the stream afterwards produces a summary bit-identical
+//!   to an undisturbed run.
+//! * **Deterministic fault injection.**
+//!   [`inject_worker_fault`](ShardedDispersedSampler::inject_worker_fault)
+//!   instructs one worker to
+//!   exhibit a typed [`WorkerFault`] (panic, stall), which is how the fault
+//!   battery exercises all of the above without `cfg(test)` hooks.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use cws_core::columns::{first_invalid_weight, invalid_weight_error, RecordColumns};
+use cws_core::fault::WorkerFault;
 use cws_core::summary::{DispersedSummary, SummaryConfig};
 use cws_core::{CwsError, Key, Result};
 use cws_hash::KeyHasher;
@@ -67,26 +92,97 @@ enum ShardMessage {
     Pooled(RecordColumns),
     /// A shared batch forwarded zero-copy (single-shard fast path).
     Shared(Arc<RecordColumns>),
-    /// Test hook: makes the worker panic, exercising the failure path.
-    InjectPanic,
+    /// An injected fault: the worker exhibits it on receipt (panic, stall),
+    /// exercising the supervision paths deterministically.
+    Fault(WorkerFault),
 }
 
-/// Producer-side state of one shard: the batch channel, the filling buffer
-/// and the allocate-once recycling pool.
+/// One supervised shard: the batch channel, the filling buffer, the
+/// allocate-once recycling pool, the worker handle, and the worker's
+/// harvested failure (if it died).
 struct ShardLane {
     sender: mpsc::SyncSender<ShardMessage>,
     recycled: mpsc::Receiver<RecordColumns>,
     /// Buffers ready to be filled. Refilled from `recycled`; only drained
     /// to zero when the worker is slower than the producer, in which case
-    /// the blocking refill is the backpressure.
+    /// the bounded refill wait is the backpressure.
     pool: Vec<RecordColumns>,
     filling: RecordColumns,
-    /// Set when the worker hung up (panicked or errored); further traffic
-    /// to this shard is dropped and `finalize` reports the cause.
-    dead: bool,
+    /// The worker thread; taken (joined) the moment its death is detected.
+    worker: Option<thread::JoinHandle<Result<DispersedSummary>>>,
+    /// The worker's typed cause of death, harvested at detection time and
+    /// returned from every subsequent push to this shard.
+    failure: Option<CwsError>,
 }
 
-/// Multi-assignment ingestion parallelized over `N` key shards.
+/// Outcome of a bounded (non-blocking-forever) channel send.
+enum SendOutcome {
+    Sent,
+    /// The channel stayed full past the deadline; the message is handed
+    /// back so the caller can restore its buffers.
+    Stalled(ShardMessage),
+    Disconnected,
+}
+
+/// Tries to send `message`, waiting at most `timeout` for channel space.
+fn send_bounded(
+    sender: &mpsc::SyncSender<ShardMessage>,
+    timeout: Duration,
+    mut message: ShardMessage,
+) -> SendOutcome {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match sender.try_send(message) {
+            Ok(()) => return SendOutcome::Sent,
+            Err(mpsc::TrySendError::Full(returned)) => {
+                if Instant::now() >= deadline {
+                    return SendOutcome::Stalled(returned);
+                }
+                message = returned;
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(mpsc::TrySendError::Disconnected(returned)) => {
+                drop(returned);
+                return SendOutcome::Disconnected;
+            }
+        }
+    }
+}
+
+/// Joins a dead worker *now* and converts its outcome into the typed error
+/// every subsequent push to this shard will return. Idempotent: once
+/// harvested, the stored failure is reused.
+fn harvest_failure(lane: &mut ShardLane, shard: usize) -> CwsError {
+    if lane.failure.is_none() {
+        let error = match lane.worker.take() {
+            Some(handle) => match handle.join() {
+                // The worker only returns `Ok` after its channel closes; a
+                // hang-up observed while our sender is alive means it died.
+                Ok(Ok(_)) => CwsError::ShardWorkerPanicked {
+                    shard,
+                    message: "worker exited before its channel closed".to_string(),
+                },
+                Ok(Err(error)) => error,
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    CwsError::ShardWorkerPanicked { shard, message }
+                }
+            },
+            None => CwsError::ShardWorkerPanicked {
+                shard,
+                message: "worker already joined".to_string(),
+            },
+        };
+        lane.failure = Some(error);
+    }
+    lane.failure.clone().expect("failure was just stored")
+}
+
+/// Multi-assignment ingestion parallelized over `N` supervised key shards.
 ///
 /// Construct with [`ShardedDispersedSampler::new`], feed records with
 /// [`push_record`](ShardedDispersedSampler::push_record) /
@@ -94,13 +190,16 @@ struct ShardLane {
 /// [`push_columns_shared`](ShardedDispersedSampler::push_columns_shared),
 /// and call [`finalize`](ShardedDispersedSampler::finalize) to join the
 /// workers and merge their summaries. The result is bit-identical to
-/// sequential ingestion (see the module docs).
+/// sequential ingestion; worker failure and stalls surface as typed errors
+/// at the push boundary (see the module docs).
 pub struct ShardedDispersedSampler {
+    config: SummaryConfig,
     num_assignments: usize,
+    num_shards: usize,
     router: KeyHasher,
     batch_capacity: usize,
+    stall_timeout: Duration,
     lanes: Vec<ShardLane>,
-    workers: Vec<thread::JoinHandle<Result<DispersedSummary>>>,
     processed: u64,
 }
 
@@ -108,8 +207,10 @@ impl std::fmt::Debug for ShardedDispersedSampler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedDispersedSampler")
             .field("num_assignments", &self.num_assignments)
-            .field("num_shards", &self.workers.len())
+            .field("num_shards", &self.num_shards)
             .field("batch_capacity", &self.batch_capacity)
+            .field("stall_timeout", &self.stall_timeout)
+            .field("failed_shards", &self.failed_shards())
             .field("processed", &self.processed)
             .finish_non_exhaustive()
     }
@@ -123,6 +224,13 @@ impl ShardedDispersedSampler {
     /// Number of in-flight batches a shard channel holds before `push`
     /// backpressures, bounding memory under a fast producer.
     const CHANNEL_DEPTH: usize = 4;
+
+    /// Default bound on how long a push waits for a stalled shard before
+    /// returning [`CwsError::ShardStalled`]. Generous — a healthy worker
+    /// drains a batch in microseconds — so it only fires when a shard is
+    /// genuinely wedged. Tests lower it with
+    /// [`set_stall_timeout`](ShardedDispersedSampler::set_stall_timeout).
+    pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
     /// Spawns `num_shards` worker threads for `num_assignments` assignments.
     ///
@@ -158,66 +266,84 @@ impl ShardedDispersedSampler {
             config.mode != cws_core::CoordinationMode::IndependentDifferences,
             "independent-differences ranks are not suited for dispersed weights"
         );
-        let mut lanes = Vec::with_capacity(num_shards);
-        let mut workers = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
-            let (sender, receiver) = mpsc::sync_channel::<ShardMessage>(Self::CHANNEL_DEPTH);
-            let (recycle_sender, recycled) = mpsc::channel::<RecordColumns>();
-            workers.push(thread::spawn(move || -> Result<DispersedSummary> {
-                // Constructed inside the worker so the candidate arrays are
-                // allocated (first-touched) on the thread that uses them.
-                let mut sampler = MultiAssignmentStreamSampler::new(config, num_assignments);
-                while let Ok(message) = receiver.recv() {
-                    match message {
-                        ShardMessage::Pooled(mut columns) => {
-                            sampler.push_columns_trusted(&columns);
-                            columns.clear();
-                            // The producer may already have hung up during
-                            // finalize; a failed return just retires the
-                            // buffer.
-                            let _ = recycle_sender.send(columns);
-                        }
-                        // Shared batches skip producer-side validation
-                        // (zero-copy means the producer never reads them);
-                        // validate here and carry the typed error to
-                        // `finalize` — returning also hangs up the channel,
-                        // so the producer's sends fail softly from then on.
-                        ShardMessage::Shared(columns) => sampler.push_columns(&columns)?,
-                        ShardMessage::InjectPanic => {
-                            panic!("injected shard-worker panic (test hook)")
-                        }
-                    }
-                }
-                Ok(sampler.finalize())
-            }));
-            // The allocate-once pool: every buffer this shard will ever use.
-            // `CHANNEL_DEPTH + 1` covers a full channel plus the buffer in
-            // flight back through the recycle channel.
-            let pool = (0..=Self::CHANNEL_DEPTH)
-                .map(|_| RecordColumns::with_capacity(num_assignments, batch_capacity))
-                .collect();
-            lanes.push(ShardLane {
-                sender,
-                recycled,
-                pool,
-                filling: RecordColumns::with_capacity(num_assignments, batch_capacity),
-                dead: false,
-            });
-        }
+        let lanes = (0..num_shards)
+            .map(|_| Self::spawn_lane(config, num_assignments, batch_capacity))
+            .collect();
         Self {
+            config,
             num_assignments,
+            num_shards,
             router: KeyHasher::new(config.seed).derive(ROUTER_STREAM),
             batch_capacity,
+            stall_timeout: Self::DEFAULT_STALL_TIMEOUT,
             lanes,
-            workers,
             processed: 0,
+        }
+    }
+
+    /// Builds one supervised lane: channels, worker thread, and the
+    /// allocate-once buffer pool. Deterministic — a respawned lane is
+    /// indistinguishable from a fresh one.
+    fn spawn_lane(
+        config: SummaryConfig,
+        num_assignments: usize,
+        batch_capacity: usize,
+    ) -> ShardLane {
+        let (sender, receiver) = mpsc::sync_channel::<ShardMessage>(Self::CHANNEL_DEPTH);
+        let (recycle_sender, recycled) = mpsc::channel::<RecordColumns>();
+        let worker = thread::spawn(move || -> Result<DispersedSummary> {
+            // Constructed inside the worker so the candidate arrays are
+            // allocated (first-touched) on the thread that uses them.
+            let mut sampler = MultiAssignmentStreamSampler::new(config, num_assignments);
+            while let Ok(message) = receiver.recv() {
+                match message {
+                    ShardMessage::Pooled(mut columns) => {
+                        sampler.push_columns_trusted(&columns);
+                        columns.clear();
+                        // The producer may already have hung up during
+                        // finalize; a failed return just retires the
+                        // buffer.
+                        let _ = recycle_sender.send(columns);
+                    }
+                    // Shared batches skip producer-side validation
+                    // (zero-copy means the producer never reads them);
+                    // validate here and carry the typed error out —
+                    // returning also hangs up the channel, so the
+                    // supervision layer harvests it at the next push.
+                    ShardMessage::Shared(columns) => sampler.push_columns(&columns)?,
+                    ShardMessage::Fault(WorkerFault::Panic) => {
+                        panic!("injected shard-worker panic")
+                    }
+                    ShardMessage::Fault(WorkerFault::Stall { millis }) => {
+                        thread::sleep(Duration::from_millis(millis));
+                    }
+                    // `WorkerFault` is non-exhaustive upstream; unknown
+                    // faults are ignored rather than guessed at.
+                    ShardMessage::Fault(_) => {}
+                }
+            }
+            Ok(sampler.finalize())
+        });
+        // The allocate-once pool: every buffer this shard will ever use.
+        // `CHANNEL_DEPTH + 1` covers a full channel plus the buffer in
+        // flight back through the recycle channel.
+        let pool = (0..=Self::CHANNEL_DEPTH)
+            .map(|_| RecordColumns::with_capacity(num_assignments, batch_capacity))
+            .collect();
+        ShardLane {
+            sender,
+            recycled,
+            pool,
+            filling: RecordColumns::with_capacity(num_assignments, batch_capacity),
+            worker: Some(worker),
+            failure: None,
         }
     }
 
     /// Number of shards (worker threads).
     #[must_use]
     pub fn num_shards(&self) -> usize {
-        self.workers.len()
+        self.num_shards
     }
 
     /// Number of assignments.
@@ -232,20 +358,58 @@ impl ShardedDispersedSampler {
         self.processed
     }
 
+    /// Bounds how long a push waits for a stalled shard (a full batch
+    /// channel or an empty recycle pool) before returning
+    /// [`CwsError::ShardStalled`]. Default:
+    /// [`DEFAULT_STALL_TIMEOUT`](Self::DEFAULT_STALL_TIMEOUT).
+    pub fn set_stall_timeout(&mut self, timeout: Duration) {
+        self.stall_timeout = timeout;
+    }
+
+    /// The harvested failure of `shard`'s worker, if it died.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_failure(&self, shard: usize) -> Option<&CwsError> {
+        self.lanes[shard].failure.as_ref()
+    }
+
+    /// Indices of shards whose workers have died (detected so far).
+    #[must_use]
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, lane)| lane.failure.is_some().then_some(shard))
+            .collect()
+    }
+
+    /// `true` when no worker death has been detected.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.lanes.iter().all(|lane| lane.failure.is_none())
+    }
+
     /// The shard a key routes to — a deterministic hash uncorrelated with
     /// the rank assignment, so sharding never biases the sample.
     #[inline]
     #[must_use]
     pub fn shard_of(&self, key: Key) -> usize {
-        (self.router.hash_u64(key) % self.workers.len() as u64) as usize
+        (self.router.hash_u64(key) % self.num_shards as u64) as usize
     }
 
-    /// Routes one record to its shard, flushing that shard's batch to the
-    /// worker when full.
+    /// Routes one record to its shard, flushing that shard's previous batch
+    /// to the worker when the buffer is full.
     ///
     /// # Errors
     /// Returns an error if any weight is NaN, infinite or negative (the
-    /// record is rejected whole).
+    /// record is rejected whole); [`CwsError::ShardWorkerPanicked`] or the
+    /// worker's own typed error if the target shard's worker died (the
+    /// record was **not** ingested — there is no silent-drop window); or
+    /// [`CwsError::ShardStalled`] if the shard did not accept traffic within
+    /// the stall timeout (the record was not ingested; the push can be
+    /// retried).
     ///
     /// # Panics
     /// Panics if the vector length differs from the number of assignments.
@@ -256,11 +420,16 @@ impl ShardedDispersedSampler {
             return Err(invalid_weight_error(key, assignment, weights[assignment]));
         }
         let shard = self.shard_of(key);
+        if let Some(failure) = &self.lanes[shard].failure {
+            return Err(failure.clone());
+        }
+        // Flush *before* buffering the new record: an error then means this
+        // record was cleanly rejected (retryable), never half-ingested.
+        if self.lanes[shard].filling.len() >= self.batch_capacity {
+            self.flush_shard(shard)?;
+        }
         self.lanes[shard].filling.push(key, weights);
         self.processed += 1;
-        if self.lanes[shard].filling.len() >= self.batch_capacity {
-            self.flush_shard(shard);
-        }
         Ok(())
     }
 
@@ -287,10 +456,12 @@ impl ShardedDispersedSampler {
     /// routing entirely and bulk-copy whole lanes).
     ///
     /// # Errors
-    /// Returns an error on a NaN, infinite or negative weight. Chunks of
-    /// `COLUMN_CHUNK` (1024) records are validated
-    /// before being partitioned, so nothing of the failing chunk reaches a
-    /// worker.
+    /// Returns an error on a NaN, infinite or negative weight (chunks of
+    /// `COLUMN_CHUNK` (1024) records are validated before being partitioned,
+    /// so nothing of the failing chunk reaches a worker), on a dead shard
+    /// worker (its typed cause), or on a stalled shard
+    /// ([`CwsError::ShardStalled`]). Records of earlier chunks were
+    /// ingested; records at or after the failure point were not.
     ///
     /// # Panics
     /// Panics if the batch's assignment count differs from the sampler's.
@@ -300,7 +471,7 @@ impl ShardedDispersedSampler {
         while start < columns.len() {
             let len = crate::bottomk::COLUMN_CHUNK.min(columns.len() - start);
             columns.validate_span(start, len)?;
-            self.partition_chunk(columns, start, len);
+            self.partition_chunk(columns, start, len)?;
             self.processed += len as u64;
             start += len;
         }
@@ -317,69 +488,83 @@ impl ShardedDispersedSampler {
     /// # Errors
     /// In the multi-shard case, as
     /// [`push_columns`](ShardedDispersedSampler::push_columns). On the
-    /// single-shard zero-copy path the batch is validated by the worker, so
-    /// an invalid weight surfaces as the same typed error from
-    /// [`finalize`](ShardedDispersedSampler::finalize) instead of an error
-    /// here.
+    /// single-shard zero-copy path a dead or stalled worker is a typed
+    /// error from this push (the batch was not ingested); an invalid weight
+    /// inside the shared batch is detected by the worker and surfaces as
+    /// the same typed error from the *next* push to the shard or from
+    /// [`finalize`](ShardedDispersedSampler::finalize), whichever comes
+    /// first.
     ///
     /// # Panics
     /// Panics if the batch's assignment count differs from the sampler's.
     pub fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
-        if self.workers.len() > 1 {
+        if self.num_shards > 1 {
             return self.push_columns(columns);
         }
         assert_eq!(columns.num_assignments(), self.num_assignments, "weight vector arity mismatch");
+        if let Some(failure) = &self.lanes[0].failure {
+            return Err(failure.clone());
+        }
         // Preserve arrival order relative to any previously buffered
         // records (not required for correctness — the sample is
         // order-independent — but it keeps `processed` honest per worker).
-        self.flush_shard(0);
-        self.processed += columns.len() as u64;
+        self.flush_shard(0)?;
+        let timeout = self.stall_timeout;
         let lane = &mut self.lanes[0];
-        if !lane.dead && lane.sender.send(ShardMessage::Shared(Arc::clone(columns))).is_err() {
-            lane.dead = true;
+        match send_bounded(&lane.sender, timeout, ShardMessage::Shared(Arc::clone(columns))) {
+            SendOutcome::Sent => {
+                self.processed += columns.len() as u64;
+                Ok(())
+            }
+            SendOutcome::Stalled(_) => {
+                Err(CwsError::ShardStalled { shard: 0, timeout_ms: timeout.as_millis() as u64 })
+            }
+            SendOutcome::Disconnected => Err(harvest_failure(lane, 0)),
         }
-        Ok(())
     }
 
     /// Scatters one validated chunk into the per-shard column buffers.
-    fn partition_chunk(&mut self, columns: &RecordColumns, start: usize, len: usize) {
-        if self.workers.len() == 1 {
+    fn partition_chunk(&mut self, columns: &RecordColumns, start: usize, len: usize) -> Result<()> {
+        if self.num_shards == 1 {
             // No routing decision to make: bulk-copy whole lane spans into
             // the filling buffer (a per-lane memcpy).
             let mut copied = 0;
             while copied < len {
+                if self.lanes[0].filling.len() >= self.batch_capacity {
+                    self.flush_shard(0)?;
+                }
                 let room = self.batch_capacity.saturating_sub(self.lanes[0].filling.len()).max(1);
                 let take = room.min(len - copied);
                 self.lanes[0].filling.extend_from(columns, start + copied, take);
                 copied += take;
-                if self.lanes[0].filling.len() >= self.batch_capacity {
-                    self.flush_shard(0);
-                }
             }
-            return;
+            return Ok(());
         }
         for index in start..start + len {
             let shard = self.shard_of(columns.keys()[index]);
-            self.lanes[shard].filling.push_row_from(columns, index);
             if self.lanes[shard].filling.len() >= self.batch_capacity {
-                self.flush_shard(shard);
+                self.flush_shard(shard)?;
             }
+            self.lanes[shard].filling.push_row_from(columns, index);
         }
+        Ok(())
     }
 
     /// Sends the shard's filling buffer to its worker and replaces it with a
-    /// recycled one from the pool (blocking on the return channel — the
-    /// backpressure path — only when the pool is dry).
-    fn flush_shard(&mut self, shard: usize) {
+    /// recycled one from the pool (waiting boundedly on the return channel —
+    /// the backpressure path — only when the pool is dry).
+    ///
+    /// On a stall the filling buffer is left in place (nothing is lost, the
+    /// flush can be retried); on worker death the worker is joined and its
+    /// cause stored and returned.
+    fn flush_shard(&mut self, shard: usize) -> Result<()> {
+        let timeout = self.stall_timeout;
         let lane = &mut self.lanes[shard];
-        if lane.filling.is_empty() {
-            return;
+        if let Some(failure) = &lane.failure {
+            return Err(failure.clone());
         }
-        if lane.dead {
-            // The worker is gone; finalize will report why. Recycle in
-            // place so pushes stay cheap until then.
-            lane.filling.clear();
-            return;
+        if lane.filling.is_empty() {
+            return Ok(());
         }
         // Drain opportunistic returns first so the pool stays warm.
         while let Ok(buffer) = lane.recycled.try_recv() {
@@ -387,31 +572,95 @@ impl ShardedDispersedSampler {
         }
         let replacement = match lane.pool.pop() {
             Some(buffer) => buffer,
-            None => match lane.recycled.recv() {
+            None => match lane.recycled.recv_timeout(timeout) {
                 Ok(buffer) => buffer,
-                Err(_) => {
-                    // Worker died without returning buffers.
-                    lane.dead = true;
-                    lane.filling.clear();
-                    return;
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(CwsError::ShardStalled {
+                        shard,
+                        timeout_ms: timeout.as_millis() as u64,
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Worker died without returning buffers: join it now and
+                    // report the typed cause from this very push.
+                    return Err(harvest_failure(lane, shard));
                 }
             },
         };
         let full = std::mem::replace(&mut lane.filling, replacement);
-        if lane.sender.send(ShardMessage::Pooled(full)).is_err() {
-            lane.dead = true;
+        match send_bounded(&lane.sender, timeout, ShardMessage::Pooled(full)) {
+            SendOutcome::Sent => Ok(()),
+            SendOutcome::Stalled(message) => {
+                // Undo: keep the unsent batch as the filling buffer so a
+                // retry resends it, and return the fresh buffer to the pool.
+                let ShardMessage::Pooled(full) = message else {
+                    unreachable!("a pooled send hands back a pooled message")
+                };
+                let replacement = std::mem::replace(&mut lane.filling, full);
+                lane.pool.push(replacement);
+                Err(CwsError::ShardStalled { shard, timeout_ms: timeout.as_millis() as u64 })
+            }
+            SendOutcome::Disconnected => Err(harvest_failure(lane, shard)),
         }
     }
 
-    /// Test hook: makes the worker of `shard` panic on its next message, so
-    /// the failure path (no hang, an error from `finalize`) can be
-    /// exercised deterministically.
-    #[doc(hidden)]
-    pub fn inject_worker_panic(&mut self, shard: usize) {
+    /// Instructs the worker of `shard` to exhibit `fault` when it processes
+    /// its next message — the deterministic entry point the fault battery
+    /// uses to exercise the supervision paths ([`WorkerFault::Panic`] →
+    /// push-time [`CwsError::ShardWorkerPanicked`]; [`WorkerFault::Stall`] →
+    /// push-time [`CwsError::ShardStalled`]).
+    ///
+    /// # Errors
+    /// Returns the shard's harvested failure if its worker is already dead,
+    /// or [`CwsError::ShardStalled`] if the fault message itself could not
+    /// be delivered within the stall timeout.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn inject_worker_fault(&mut self, shard: usize, fault: WorkerFault) -> Result<()> {
+        let timeout = self.stall_timeout;
         let lane = &mut self.lanes[shard];
-        if lane.sender.send(ShardMessage::InjectPanic).is_err() {
-            lane.dead = true;
+        if let Some(failure) = &lane.failure {
+            return Err(failure.clone());
         }
+        match send_bounded(&lane.sender, timeout, ShardMessage::Fault(fault)) {
+            SendOutcome::Sent => Ok(()),
+            SendOutcome::Stalled(_) => {
+                Err(CwsError::ShardStalled { shard, timeout_ms: timeout.as_millis() as u64 })
+            }
+            SendOutcome::Disconnected => Err(harvest_failure(lane, shard)),
+        }
+    }
+
+    /// Drains and rebuilds the entire worker set deterministically: every
+    /// worker (dead or alive) is joined, its partial state discarded, and
+    /// every lane is respawned from the original configuration — same seed,
+    /// same routing, fresh buffers, `processed` reset to zero.
+    ///
+    /// Because construction is deterministic, re-ingesting the same stream
+    /// after a respawn yields a summary **bit-identical** to an undisturbed
+    /// run — this is the recovery route after a worker death: respawn, then
+    /// replay the epoch's records from their durable source.
+    pub fn respawn(&mut self) {
+        let lanes = std::mem::take(&mut self.lanes);
+        for lane in lanes {
+            let ShardLane { sender, recycled, pool, filling, worker, failure } = lane;
+            // Close the channels first so a live worker drains and exits.
+            drop(sender);
+            drop(recycled);
+            drop(pool);
+            drop(filling);
+            drop(failure);
+            if let Some(handle) = worker {
+                // The outcome — summary, error or panic — is deliberately
+                // discarded: respawn abandons the partial epoch.
+                let _ = handle.join();
+            }
+        }
+        self.lanes = (0..self.num_shards)
+            .map(|_| Self::spawn_lane(self.config, self.num_assignments, self.batch_capacity))
+            .collect();
+        self.processed = 0;
     }
 
     /// Flushes the remaining buffers, joins all workers and merges the
@@ -419,21 +668,34 @@ impl ShardedDispersedSampler {
     ///
     /// # Errors
     /// Returns [`CwsError::ShardWorkerPanicked`] if any worker thread
-    /// panicked, or the worker's own typed error (e.g. an invalid weight in
-    /// a zero-copy shared batch) if it stopped with one. Every worker is
-    /// joined first either way, so no thread is leaked and finalize never
-    /// hangs.
+    /// panicked, the worker's own typed error (e.g. an invalid weight in a
+    /// zero-copy shared batch) if it stopped with one, or
+    /// [`CwsError::ShardStalled`] if a final flush timed out. Every worker
+    /// is joined first either way, so no thread is leaked and finalize
+    /// never hangs on a dead shard.
     pub fn finalize(mut self) -> Result<DispersedSummary> {
+        let mut flush_failure = None;
         for shard in 0..self.lanes.len() {
-            self.flush_shard(shard);
+            if let Err(error) = self.flush_shard(shard) {
+                flush_failure.get_or_insert(error);
+            }
         }
-        // Dropping the lanes closes the batch channels; each worker drains
-        // its queue and finalizes.
-        self.lanes.clear();
-        let mut summaries = Vec::with_capacity(self.workers.len());
+        let mut summaries = Vec::with_capacity(self.lanes.len());
         let mut failure = None;
-        for (shard, worker) in self.workers.drain(..).enumerate() {
-            match worker.join() {
+        for (shard, lane) in self.lanes.drain(..).enumerate() {
+            let ShardLane { sender, recycled, pool, filling, worker, failure: harvested } = lane;
+            // Dropping the channel ends the worker's receive loop; it
+            // drains its queue and finalizes.
+            drop(sender);
+            drop(recycled);
+            drop(pool);
+            drop(filling);
+            if let Some(error) = harvested {
+                failure.get_or_insert(error);
+                continue;
+            }
+            let Some(handle) = worker else { continue };
+            match handle.join() {
                 Ok(Ok(summary)) => summaries.push(summary),
                 Ok(Err(error)) => {
                     failure.get_or_insert(error);
@@ -448,7 +710,7 @@ impl ShardedDispersedSampler {
                 }
             }
         }
-        match failure {
+        match failure.or(flush_failure) {
             Some(error) => Err(error),
             None => Ok(merge_disjoint_summaries(&summaries)
                 .expect("per-shard summaries share one configuration by construction")),
@@ -557,24 +819,144 @@ mod tests {
         let _ = other.finalize().unwrap();
     }
 
+    /// Satellite regression: pushing after an injected panic returns a typed
+    /// error from the push itself — the batch is rejected, never silently
+    /// dropped — and finalize reports the same cause.
     #[test]
-    fn worker_panic_surfaces_as_error_not_hang() {
+    fn pushes_after_worker_panic_return_typed_errors() {
         let data = fixture();
         let config = SummaryConfig::new(16, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
         let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, 3, 8);
         sharded.push_batch(data.iter().take(100)).unwrap();
-        sharded.inject_worker_panic(1);
-        // Keep pushing after the panic: sends to the dead shard must fail
-        // softly rather than panic or block forever.
-        sharded.push_batch(data.iter().skip(100)).unwrap();
-        let err = sharded.finalize().unwrap_err();
-        match err {
+        assert!(sharded.is_healthy());
+        sharded.inject_worker_fault(1, WorkerFault::Panic).unwrap();
+        // The worker dies asynchronously; keep pushing until the supervision
+        // layer detects the death. Buffered/queued capacity is finite, so
+        // this terminates — and must yield a typed error, not a hang or a
+        // silent drop.
+        let mut first_error = None;
+        'drive: for _ in 0..100 {
+            for (key, weights) in data.iter() {
+                if let Err(error) = sharded.push_record(key, weights) {
+                    first_error = Some(error);
+                    break 'drive;
+                }
+            }
+        }
+        match first_error.expect("a push must observe the dead shard") {
             CwsError::ShardWorkerPanicked { shard, ref message } => {
                 assert_eq!(shard, 1);
                 assert!(message.contains("injected"), "{message}");
             }
             other => panic!("unexpected error {other:?}"),
         }
+        assert!(!sharded.is_healthy());
+        assert_eq!(sharded.failed_shards(), vec![1]);
+        assert!(matches!(
+            sharded.shard_failure(1),
+            Some(CwsError::ShardWorkerPanicked { shard: 1, .. })
+        ));
+        // Every further push to the dead shard fails fast with the same
+        // typed cause (no double-join, no hang).
+        let dead_key = (0..).find(|&key| sharded.shard_of(key) == 1).unwrap();
+        let err = sharded.push_record(dead_key, &[1.0, 1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, CwsError::ShardWorkerPanicked { shard: 1, .. }));
+        // And finalize reports it too, joining every worker.
+        let err = sharded.finalize().unwrap_err();
+        assert!(matches!(err, CwsError::ShardWorkerPanicked { shard: 1, .. }));
+    }
+
+    /// Satellite regression: the buffer-pool refill path against a dead
+    /// worker returns a typed error promptly instead of hanging on
+    /// `recv()`.
+    #[test]
+    fn pool_refill_against_dead_worker_errors_promptly() {
+        let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 3);
+        let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 2, 1, 4);
+        sharded.set_stall_timeout(Duration::from_millis(200));
+        sharded.inject_worker_fault(0, WorkerFault::Panic).unwrap();
+        let start = Instant::now();
+        // Single shard: every record routes to the dead lane. The pool +
+        // channel hold at most (CHANNEL_DEPTH + 1) * 4 records, so the
+        // refill path is reached quickly and must fail, not block forever.
+        let mut observed = None;
+        for key in 0..10_000u64 {
+            if let Err(error) = sharded.push_record(key, &[1.0, 2.0]) {
+                observed = Some(error);
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        assert!(matches!(
+            observed.expect("the dead worker must surface"),
+            CwsError::ShardWorkerPanicked { shard: 0, .. }
+        ));
+        assert!(elapsed < Duration::from_secs(5), "death detection took {elapsed:?}");
+        let _ = sharded.finalize().unwrap_err();
+    }
+
+    /// A stalled (but alive) worker produces `ShardStalled` within the
+    /// timeout instead of blocking forever; finalize still joins it.
+    #[test]
+    fn stalled_shard_times_out_with_typed_error() {
+        let config = SummaryConfig::new(8, RankFamily::Ipps, CoordinationMode::SharedSeed, 11);
+        let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 2, 1, 2);
+        sharded.set_stall_timeout(Duration::from_millis(50));
+        sharded.inject_worker_fault(0, WorkerFault::Stall { millis: 400 }).unwrap();
+        let start = Instant::now();
+        let mut observed = None;
+        for key in 0..10_000u64 {
+            if let Err(error) = sharded.push_record(key, &[1.0, 2.0]) {
+                observed = Some(error);
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        match observed.expect("the stalled shard must time out") {
+            CwsError::ShardStalled { shard: 0, timeout_ms } => assert_eq!(timeout_ms, 50),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(elapsed < Duration::from_secs(5), "stall detection took {elapsed:?}");
+        // The stall is transient: once the worker wakes and drains, the
+        // same push path succeeds again and finalize completes.
+        assert!(sharded.is_healthy());
+        thread::sleep(Duration::from_millis(500));
+        sharded.push_record(42, &[1.0, 2.0]).unwrap();
+        let summary = sharded.finalize().unwrap();
+        assert!(summary.num_distinct_keys() > 0);
+    }
+
+    /// Respawn rebuilds the lanes deterministically: after a worker death,
+    /// re-ingesting the same stream yields a summary bit-identical to an
+    /// undisturbed sequential run.
+    #[test]
+    fn respawn_then_reingest_is_bit_exact() {
+        let data = fixture();
+        let config = SummaryConfig::new(24, RankFamily::Ipps, CoordinationMode::SharedSeed, 17);
+        let mut sequential = MultiAssignmentStreamSampler::new(config, 3);
+        sequential.push_batch(data.iter()).unwrap();
+        let expected = sequential.finalize();
+
+        let mut sharded = ShardedDispersedSampler::with_batch_capacity(config, 3, 3, 16);
+        sharded.push_batch(data.iter().take(400)).unwrap();
+        sharded.inject_worker_fault(2, WorkerFault::Panic).unwrap();
+        // Drive the failure to detection.
+        let mut saw_error = false;
+        'drive: for _ in 0..100 {
+            for (key, weights) in data.iter() {
+                if sharded.push_record(key, weights).is_err() {
+                    saw_error = true;
+                    break 'drive;
+                }
+            }
+        }
+        assert!(saw_error);
+        sharded.respawn();
+        assert!(sharded.is_healthy());
+        assert_eq!(sharded.processed(), 0);
+        sharded.push_batch(data.iter()).unwrap();
+        assert_eq!(sharded.processed(), 1200);
+        assert_eq!(sharded.finalize().unwrap(), expected);
     }
 
     #[test]

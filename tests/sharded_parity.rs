@@ -178,8 +178,10 @@ fn sharded_record_accounting() {
 }
 
 /// A panicking worker surfaces as [`CwsError::ShardWorkerPanicked`] from
-/// finalize — never a hang, never a poisoned join — and pushing to the dead
-/// shard in the meantime stays safe.
+/// finalize — never a hang, never a poisoned join. Pushes to the dead shard
+/// in the meantime are *typed errors*, not silent drops: once the
+/// supervision layer detects the death, the failing push reports it and the
+/// record is cleanly rejected.
 #[test]
 fn injected_worker_panic_is_reported_on_finalize() {
     let rng = &mut case_rng("sharded_panic", 0);
@@ -193,9 +195,17 @@ fn injected_worker_panic_is_reported_on_finalize() {
     for (key, weights) in records.iter().take(50) {
         sharded.push_record(*key, weights).unwrap();
     }
-    sharded.inject_worker_panic(2);
+    sharded.inject_worker_fault(2, WorkerFault::Panic).unwrap();
     for (key, weights) in records.iter().skip(50) {
-        sharded.push_record(*key, weights).unwrap();
+        // The worker dies asynchronously: pushes may succeed (buffered or
+        // routed elsewhere) or fail with the typed cause — never panic,
+        // never drop silently.
+        if let Err(error) = sharded.push_record(*key, weights) {
+            assert!(
+                matches!(error, CwsError::ShardWorkerPanicked { shard: 2, .. }),
+                "unexpected push error {error:?}"
+            );
+        }
     }
     match sharded.finalize() {
         Err(CwsError::ShardWorkerPanicked { shard, message }) => {
