@@ -1,12 +1,13 @@
-//! Regenerates the ingestion-performance baseline (`BENCH_pr7.json`).
+//! Regenerates the ingestion-performance baseline (`BENCH_pr8.json`).
 //!
 //! Measures the layers of the ingestion hot path — single-assignment push
 //! throughput (scalar and batched), per-assignment hashing vs the hash-once
 //! row and column paths, sharded scaling over both the per-record and the
 //! zero-copy column handoff, and the `Pipeline` facade's `SumByKey`
-//! pre-aggregation stage over an unaggregated element stream — on the
-//! synthetic Zipf workload, and emits a JSON snapshot so later PRs have a
-//! perf trajectory to compare against.
+//! pre-aggregation stage over an unaggregated element stream (ungoverned
+//! and under a byte-tracking budget, which also records the stage's peak
+//! tracked bytes) — on the synthetic Zipf workload, and emits a JSON
+//! snapshot so later PRs have a perf trajectory to compare against.
 //!
 //! Usage:
 //!
@@ -91,6 +92,12 @@ struct Baseline {
     num_elements: usize,
     /// The `SumByKey` pre-aggregation stage, in elements per second.
     sum_by_key_elements_per_sec: f64,
+    /// The same stage under a byte-tracking budget (accounting on every
+    /// batch, cap never binding), in elements per second.
+    sum_by_key_governed_elements_per_sec: f64,
+    /// The aggregation stage's memory high-water mark under the
+    /// byte-tracking budget, in bytes.
+    peak_tracked_bytes: u64,
 }
 
 fn run_baseline(quick: bool) -> Baseline {
@@ -145,6 +152,17 @@ fn run_baseline(quick: bool) -> Baseline {
         elements.len()
     );
 
+    let mut peak_tracked_bytes = 0u64;
+    let sum_by_key_governed_elements_per_sec = measure(elements.len(), reps, || {
+        let (size, peak) = workloads::sum_by_key_elements_governed(&elements, config, ASSIGNMENTS);
+        peak_tracked_bytes = peak_tracked_bytes.max(peak);
+        size
+    });
+    eprintln!(
+        "[ingest_baseline] governed SumByKey: {sum_by_key_governed_elements_per_sec:.3e} \
+         elements/s, peak tracked bytes {peak_tracked_bytes}"
+    );
+
     let cpu_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     if cpu_parallelism == 1 {
         eprintln!(
@@ -177,6 +195,8 @@ fn run_baseline(quick: bool) -> Baseline {
         sharded_records_per_sec,
         num_elements: elements.len(),
         sum_by_key_elements_per_sec,
+        sum_by_key_governed_elements_per_sec,
+        peak_tracked_bytes,
     }
 }
 
@@ -192,7 +212,7 @@ fn to_json(b: &Baseline) -> String {
     // `--check` schema guard) and flagged.
     let scaling_claims_valid = b.cpu_parallelism > 1;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"cws-ingestion-baseline/v4\",\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v5\",\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
     );
@@ -234,9 +254,18 @@ fn to_json(b: &Baseline) -> String {
     out.push_str(&format!("    \"num_elements\": {},\n", b.num_elements));
     out.push_str("    \"fragments_per_slot\": \"2-5\",\n");
     out.push_str(&format!(
-        "    \"sum_by_key_elements_per_sec\": {:.1}\n",
+        "    \"sum_by_key_elements_per_sec\": {:.1},\n",
         b.sum_by_key_elements_per_sec
     ));
+    out.push_str(&format!(
+        "    \"sum_by_key_governed_elements_per_sec\": {:.1},\n",
+        b.sum_by_key_governed_elements_per_sec
+    ));
+    out.push_str(&format!(
+        "    \"governance_overhead\": {:.3},\n",
+        b.sum_by_key_elements_per_sec / b.sum_by_key_governed_elements_per_sec
+    ));
+    out.push_str(&format!("    \"peak_tracked_bytes\": {}\n", b.peak_tracked_bytes));
     out.push_str("  },\n");
     out.push_str("  \"sharded\": [\n");
     for (i, &(shards, record_rate, column_rate)) in b.sharded_records_per_sec.iter().enumerate() {

@@ -61,6 +61,7 @@ pub fn quick_mode() -> bool {
 pub mod workloads {
     use std::sync::Arc;
 
+    use cws_core::budget::ResourceBudget;
     use cws_core::columns::RecordColumns;
     use cws_core::coordination::RankGenerator;
     use cws_core::summary::SummaryConfig;
@@ -167,6 +168,35 @@ pub mod workloads {
         pipeline.finalize().expect("sequential ingestion cannot fail").num_distinct_keys()
     }
 
+    /// The governed twin of [`sum_by_key_elements`]: the same element
+    /// stream under a byte-tracking [`ResourceBudget`] (an effectively
+    /// unbounded cap, so accounting runs but never rejects). Returns
+    /// `(num_distinct_keys, peak_tracked_bytes)` — the size of the sample
+    /// plus the aggregation stage's memory high-water mark, the number the
+    /// baseline records so budget sizing has a measured anchor.
+    pub fn sum_by_key_elements_governed(
+        elements: &[Element],
+        config: SummaryConfig,
+        num_assignments: usize,
+    ) -> (usize, u64) {
+        let mut pipeline = Pipeline::builder()
+            .assignments(num_assignments)
+            .k(config.k)
+            .rank(config.family)
+            .coordination(config.mode)
+            .layout(Layout::Dispersed)
+            .aggregation(Aggregation::SumByKey)
+            .budget(ResourceBudget::unlimited().with_max_bytes(u64::MAX))
+            .seed(config.seed)
+            .build()
+            .expect("valid configuration");
+        for batch in elements.chunks(ELEMENT_BATCH) {
+            pipeline.push_elements(batch).expect("valid elements");
+        }
+        let peak = pipeline.peak_tracked_bytes();
+        (pipeline.finalize().expect("sequential ingestion cannot fail").num_distinct_keys(), peak)
+    }
+
     /// Sharded ingestion fed pre-chunked shared column batches — the
     /// zero-copy handoff (with one shard the `Arc` goes to the worker
     /// untouched; with more, columns are partitioned into pooled buffers).
@@ -227,5 +257,8 @@ mod tests {
             expected,
             "pre-aggregated elements must sample identically to aggregated records"
         );
+        let (governed, peak) = workloads::sum_by_key_elements_governed(&elements, config, 4);
+        assert_eq!(governed, expected, "budget accounting must not perturb the sample");
+        assert!(peak > 0, "a byte-tracking budget must record a high-water mark");
     }
 }

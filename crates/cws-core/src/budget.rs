@@ -1,0 +1,571 @@
+//! Resource governance: byte/key budgets, wall-clock deadlines, and a
+//! deterministic retry policy.
+//!
+//! A long-lived sampling service dies two ways the fault framework in
+//! [`fault`](crate::fault) does not cover: it is *fed too much* (an
+//! aggregation table or channel backlog grows without bound until the
+//! process is OOM-killed) or it is *asked too much* (a slow multi-query
+//! pass holds a caller hostage). This module provides the governance
+//! vocabulary the engine threads through its hot paths:
+//!
+//! * [`ResourceBudget`] — a declarative cap on tracked bytes, distinct
+//!   keys, and wall-clock time. Budgets are configuration; arming one
+//!   produces a [`BudgetGuard`].
+//! * [`BudgetGuard`] — the armed form, threaded as `&BudgetGuard` through
+//!   ingest paths. Usage accounting uses interior mutability (`Cell`) so
+//!   one guard can be consulted from several call sites without threading
+//!   `&mut` everywhere; guards are cheap and single-threaded by design.
+//!   Byte/key checks are exact and deterministic; only the deadline
+//!   consults the wall clock.
+//! * [`Deadline`] — a single armed wall-clock deadline, checked at chunk
+//!   boundaries so a timed-out operation returns a typed
+//!   [`CwsError::DeadlineExceeded`] with nothing half-applied.
+//! * [`RetryPolicy`] — seeded decorrelated-jitter backoff on the same
+//!   SplitMix64 stream as [`FaultPlan`], so a
+//!   retry schedule replays bit-exactly from its seed and fault-injection
+//!   tests can assert on the exact sequence of waits.
+//! * [`QuarantinedRecords`] — the typed report for record-granular
+//!   poison-record quarantine (dead-letter rings divert invalid records
+//!   while the rest of a batch ingests).
+//!
+//! Everything here is allocation-free on the hot path and costs nothing
+//! unless constructed; an unlimited guard reduces every check to one or
+//! two predictable branches.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use crate::error::{CwsError, Result};
+use crate::fault::FaultPlan;
+
+/// A declarative resource cap: tracked bytes, distinct keys, wall-clock
+/// time. All three limits are optional; the default budget is unlimited.
+///
+/// A budget is plain configuration — cheap to clone, compare and store in
+/// builders. Arming it with [`ResourceBudget::guard`] starts the deadline
+/// clock and produces the [`BudgetGuard`] the hot paths consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    max_bytes: Option<u64>,
+    max_keys: Option<u64>,
+    deadline: Option<Duration>,
+}
+
+impl ResourceBudget {
+    /// A budget with no limits — every check passes.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps the tracked bytes (dense key/lane storage plus index).
+    #[must_use]
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps the number of distinct keys held by governed stages.
+    #[must_use]
+    pub fn with_max_keys(mut self, keys: u64) -> Self {
+        self.max_keys = Some(keys);
+        self
+    }
+
+    /// Sets a wall-clock budget, armed when the guard is created.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The byte cap, if any.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// The key cap, if any.
+    #[must_use]
+    pub fn max_keys(&self) -> Option<u64> {
+        self.max_keys
+    }
+
+    /// The wall-clock budget, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// `true` when no limit is set (the guard will never reject).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_bytes.is_none() && self.max_keys.is_none() && self.deadline.is_none()
+    }
+
+    /// Arms the budget: usage counters at zero, deadline clock started.
+    #[must_use]
+    pub fn guard(&self) -> BudgetGuard {
+        BudgetGuard {
+            max_bytes: self.max_bytes,
+            max_keys: self.max_keys,
+            deadline: self.deadline.map(Deadline::after),
+            used_bytes: Cell::new(0),
+            peak_bytes: Cell::new(0),
+            used_keys: Cell::new(0),
+        }
+    }
+}
+
+/// An armed [`ResourceBudget`]: the object threaded as `&BudgetGuard`
+/// through ingest hot paths.
+///
+/// Accounting is *charge-to* style: a governed stage recomputes its exact
+/// tracked usage at a batch boundary and calls
+/// [`try_charge_bytes_to`](BudgetGuard::try_charge_bytes_to) /
+/// [`try_charge_keys_to`](BudgetGuard::try_charge_keys_to) with the total
+/// it is about to hold. Charging to a *smaller* total releases (after a
+/// flush); the high-water mark survives in
+/// [`peak_bytes`](BudgetGuard::peak_bytes) so operators and benchmarks see
+/// real memory pressure, not just the post-flush level.
+#[derive(Debug, Clone)]
+pub struct BudgetGuard {
+    max_bytes: Option<u64>,
+    max_keys: Option<u64>,
+    deadline: Option<Deadline>,
+    used_bytes: Cell<u64>,
+    peak_bytes: Cell<u64>,
+    used_keys: Cell<u64>,
+}
+
+impl BudgetGuard {
+    /// A guard that never rejects (the identity element for threading).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        ResourceBudget::unlimited().guard()
+    }
+
+    /// Charges the byte counter to an absolute `total`, rejecting with
+    /// [`CwsError::BudgetExceeded`] — and leaving the counter unchanged —
+    /// when `total` exceeds the cap. Charging below the current level
+    /// releases bytes; the peak is retained.
+    ///
+    /// # Errors
+    /// [`CwsError::BudgetExceeded`] with `resource: "bytes"` when `total`
+    /// exceeds the configured cap.
+    #[inline]
+    pub fn try_charge_bytes_to(&self, total: u64) -> Result<()> {
+        if let Some(limit) = self.max_bytes {
+            if total > limit {
+                let used = self.used_bytes.get();
+                return Err(CwsError::BudgetExceeded {
+                    resource: "bytes",
+                    used,
+                    requested: total.saturating_sub(used),
+                    limit,
+                });
+            }
+        }
+        self.used_bytes.set(total);
+        if total > self.peak_bytes.get() {
+            self.peak_bytes.set(total);
+        }
+        Ok(())
+    }
+
+    /// Charges the distinct-key counter to an absolute `total`, rejecting
+    /// with [`CwsError::BudgetExceeded`] when `total` exceeds the cap.
+    ///
+    /// # Errors
+    /// [`CwsError::BudgetExceeded`] with `resource: "keys"` when `total`
+    /// exceeds the configured cap.
+    #[inline]
+    pub fn try_charge_keys_to(&self, total: u64) -> Result<()> {
+        if let Some(limit) = self.max_keys {
+            if total > limit {
+                let used = self.used_keys.get();
+                return Err(CwsError::BudgetExceeded {
+                    resource: "keys",
+                    used,
+                    requested: total.saturating_sub(used),
+                    limit,
+                });
+            }
+        }
+        self.used_keys.set(total);
+        Ok(())
+    }
+
+    /// Checks the armed deadline (a no-op when none is set).
+    ///
+    /// # Errors
+    /// [`CwsError::DeadlineExceeded`] naming `op` once the wall clock has
+    /// passed the armed deadline.
+    #[inline]
+    pub fn check_deadline(&self, op: &'static str) -> Result<()> {
+        match &self.deadline {
+            Some(deadline) => deadline.check(op),
+            None => Ok(()),
+        }
+    }
+
+    /// The key cap, if any (governed stages may pre-size from it).
+    #[must_use]
+    pub fn max_keys(&self) -> Option<u64> {
+        self.max_keys
+    }
+
+    /// The byte cap, if any.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Bytes currently charged.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.get()
+    }
+
+    /// The high-water mark of charged bytes over the guard's lifetime.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.get()
+    }
+
+    /// Distinct keys currently charged.
+    #[must_use]
+    pub fn used_keys(&self) -> u64 {
+        self.used_keys.get()
+    }
+}
+
+/// One armed wall-clock deadline, checked at chunk boundaries.
+///
+/// Copyable and allocation-free; `check` is one `Instant::now()` call, so
+/// checking every few thousand records costs nothing measurable while
+/// bounding how far past its budget an operation can run.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    expires: Instant,
+    budget_ms: u64,
+}
+
+impl Deadline {
+    /// Arms a deadline `budget` from now.
+    #[must_use]
+    pub fn after(budget: Duration) -> Self {
+        Self {
+            expires: Instant::now() + budget,
+            budget_ms: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+        }
+    }
+
+    /// `true` once the wall clock has passed the deadline.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.expires
+    }
+
+    /// Typed check: the chunk-boundary form of [`Deadline::expired`].
+    ///
+    /// # Errors
+    /// [`CwsError::DeadlineExceeded`] naming `op` once expired.
+    #[inline]
+    pub fn check(&self, op: &'static str) -> Result<()> {
+        if self.expired() {
+            Err(CwsError::DeadlineExceeded { op, budget_ms: self.budget_ms })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Deterministic decorrelated-jitter backoff, seeded on the same
+/// SplitMix64 stream as [`FaultPlan`].
+///
+/// The schedule follows the decorrelated-jitter rule
+/// `wait = min(cap, uniform(base, 3 × previous_wait))` — good spread under
+/// contention — but every draw comes from the seeded plan stream, so the
+/// exact sequence of waits replays from `(seed, base, cap)` alone. That is
+/// what makes retried overload runs testable: a same-seed re-run after an
+/// [`Overloaded`](CwsError::Overloaded) rejection backs off identically
+/// and re-ingests bit-exactly.
+///
+/// Retries make sense only for *transient* rejections; the policy treats
+/// [`CwsError::Overloaded`] and [`CwsError::ShardStalled`] as retryable
+/// and everything else (budget breaches need a flush, deadline breaches a
+/// fresh deadline) as final.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    plan: FaultPlan,
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+    previous_ms: u64,
+    attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Default backoff floor: 1 ms.
+    pub const DEFAULT_BASE_MS: u64 = 1;
+    /// Default backoff ceiling: 1 s.
+    pub const DEFAULT_CAP_MS: u64 = 1_000;
+    /// Default attempt budget (initial try + 7 retries).
+    pub const DEFAULT_MAX_ATTEMPTS: u32 = 8;
+
+    /// A policy with the default base (1 ms), cap (1 s) and attempt budget
+    /// (8), drawing jitter from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            plan: FaultPlan::new(seed),
+            base_ms: Self::DEFAULT_BASE_MS,
+            cap_ms: Self::DEFAULT_CAP_MS,
+            max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
+            previous_ms: Self::DEFAULT_BASE_MS,
+            attempts: 0,
+        }
+    }
+
+    /// Overrides the backoff floor and ceiling (milliseconds). The floor
+    /// is clamped to at least 1 ms and the ceiling to at least the floor.
+    #[must_use]
+    pub fn with_backoff_ms(mut self, base_ms: u64, cap_ms: u64) -> Self {
+        self.base_ms = base_ms.max(1);
+        self.cap_ms = cap_ms.max(self.base_ms);
+        self.previous_ms = self.base_ms;
+        self
+    }
+
+    /// Overrides the attempt budget (clamped to at least 1: the initial
+    /// try always runs).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Number of backoffs already drawn.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// `true` for errors a backoff can plausibly clear (transient
+    /// admission/stall rejections); budget and deadline breaches are
+    /// final — they need a flush or a fresh deadline, not a wait.
+    #[must_use]
+    pub fn is_retryable(error: &CwsError) -> bool {
+        matches!(error, CwsError::Overloaded { .. } | CwsError::ShardStalled { .. })
+    }
+
+    /// Draws the next backoff, or `None` once the attempt budget is spent.
+    /// Pure accounting — the caller decides whether (and how) to sleep, so
+    /// tests can assert on the exact schedule without waiting it out.
+    pub fn next_backoff(&mut self) -> Option<Duration> {
+        if self.attempts + 1 >= self.max_attempts {
+            return None;
+        }
+        self.attempts += 1;
+        let spread = self.previous_ms.saturating_mul(3).max(self.base_ms + 1) - self.base_ms;
+        let wait = (self.base_ms + self.plan.next_below(spread)).min(self.cap_ms);
+        self.previous_ms = wait;
+        Some(Duration::from_millis(wait))
+    }
+
+    /// Runs `op`, sleeping through the seeded backoff schedule after each
+    /// retryable error, until it succeeds, fails with a non-retryable
+    /// error, or the attempt budget is spent (the last error is returned).
+    ///
+    /// # Errors
+    /// The first non-retryable error `op` returns, or its last retryable
+    /// error once attempts are exhausted.
+    pub fn run<T, F: FnMut() -> Result<T>>(&mut self, mut op: F) -> Result<T> {
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(error) if Self::is_retryable(&error) => match self.next_backoff() {
+                    Some(wait) => std::thread::sleep(wait),
+                    None => return Err(error),
+                },
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
+/// How an admission-controlled stage (a sharded lane's bounded in-flight
+/// batch window) behaves when it is at capacity.
+///
+/// The two modes compose with the stall timeout rather than replacing it:
+/// `Block` is the classic behaviour — wait up to the (generous) stall
+/// timeout, then report [`CwsError::ShardStalled`] (the worker is
+/// genuinely wedged). `FailFast` bounds the *admission* wait much lower:
+/// a full in-flight window returns [`CwsError::Overloaded`] after `wait`,
+/// which a [`RetryPolicy`] can back off and retry, while a dead worker
+/// still surfaces as its own typed error immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionControl {
+    /// Wait up to the stall timeout for an admission slot (the classic
+    /// backpressure behaviour); an expiry means a wedged shard
+    /// ([`CwsError::ShardStalled`]).
+    #[default]
+    Block,
+    /// Wait at most `wait` for an admission slot, then shed the push with
+    /// [`CwsError::Overloaded`] — the records stay buffered on the caller
+    /// side, so the same push can be retried after a backoff.
+    FailFast {
+        /// Upper bound on the admission wait (clamped to the stall
+        /// timeout; `Duration::ZERO` never sleeps).
+        wait: Duration,
+    },
+}
+
+/// The typed report of a record-granular quarantine pass: how many
+/// records a dead-letter ring diverted, and the error that condemned the
+/// first of them (the most useful single diagnostic — poison records in
+/// one batch usually share a cause).
+///
+/// The contract this reports on: `quarantined count + ingested count ==
+/// offered count`. Valid records are never lost to a poison neighbour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecords {
+    /// Number of records diverted since the ring was last drained.
+    pub count: u64,
+    /// The typed error that condemned the first diverted record.
+    pub first_error: CwsError,
+}
+
+impl std::fmt::Display for QuarantinedRecords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} record(s) quarantined; first cause: {}", self.count, self.first_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_rejects() {
+        let guard = BudgetGuard::unlimited();
+        guard.try_charge_bytes_to(u64::MAX).unwrap();
+        guard.try_charge_keys_to(u64::MAX).unwrap();
+        guard.check_deadline("test").unwrap();
+        assert_eq!(guard.peak_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn byte_cap_rejects_without_mutating_and_peak_survives_release() {
+        let guard = ResourceBudget::unlimited().with_max_bytes(100).guard();
+        guard.try_charge_bytes_to(96).unwrap();
+        let err = guard.try_charge_bytes_to(128).unwrap_err();
+        match err {
+            CwsError::BudgetExceeded { resource: "bytes", used: 96, requested: 32, limit: 100 } => {
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(guard.used_bytes(), 96, "a rejected charge must not apply");
+        // Charging below the current level releases; the peak survives.
+        guard.try_charge_bytes_to(10).unwrap();
+        assert_eq!(guard.used_bytes(), 10);
+        assert_eq!(guard.peak_bytes(), 96);
+    }
+
+    #[test]
+    fn key_cap_rejects_at_the_boundary() {
+        let guard = ResourceBudget::unlimited().with_max_keys(3).guard();
+        guard.try_charge_keys_to(3).unwrap();
+        let err = guard.try_charge_keys_to(4).unwrap_err();
+        assert!(matches!(err, CwsError::BudgetExceeded { resource: "keys", limit: 3, .. }));
+        assert_eq!(guard.used_keys(), 3);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error() {
+        let deadline = Deadline::after(Duration::ZERO);
+        let err = deadline.check("query").unwrap_err();
+        assert!(matches!(err, CwsError::DeadlineExceeded { op: "query", .. }));
+        let generous = Deadline::after(Duration::from_secs(3600));
+        generous.check("query").unwrap();
+
+        let guard = ResourceBudget::unlimited().with_deadline(Duration::ZERO).guard();
+        assert!(guard.check_deadline("ingest").is_err());
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_bounded() {
+        let schedule = |seed: u64| {
+            let mut policy = RetryPolicy::new(seed).with_backoff_ms(2, 50);
+            let mut waits = Vec::new();
+            while let Some(wait) = policy.next_backoff() {
+                waits.push(wait.as_millis() as u64);
+            }
+            waits
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        assert_eq!(a, b, "same seed must replay the same backoff sequence");
+        assert_eq!(a.len() as u32, RetryPolicy::DEFAULT_MAX_ATTEMPTS - 1);
+        assert!(a.iter().all(|&ms| (2..=50).contains(&ms)), "{a:?}");
+        let c = schedule(43);
+        assert_ne!(a, c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn run_retries_transient_errors_and_respects_the_attempt_budget() {
+        let mut policy = RetryPolicy::new(7).with_backoff_ms(1, 1).with_max_attempts(4);
+        let mut calls = 0;
+        let result: Result<u32> = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(CwsError::Overloaded { stage: "shard", in_flight: 4, capacity: 4 })
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(result.unwrap(), 99);
+        assert_eq!(calls, 3);
+
+        let mut policy = RetryPolicy::new(7).with_backoff_ms(1, 1).with_max_attempts(3);
+        let mut calls = 0;
+        let result: Result<()> = policy.run(|| {
+            calls += 1;
+            Err(CwsError::Overloaded { stage: "shard", in_flight: 4, capacity: 4 })
+        });
+        assert!(matches!(result, Err(CwsError::Overloaded { .. })));
+        assert_eq!(calls, 3, "max_attempts bounds the total number of tries");
+    }
+
+    #[test]
+    fn run_does_not_retry_final_errors() {
+        let mut policy = RetryPolicy::new(1);
+        let mut calls = 0;
+        let result: Result<()> = policy.run(|| {
+            calls += 1;
+            Err(CwsError::BudgetExceeded { resource: "keys", used: 1, requested: 1, limit: 1 })
+        });
+        assert!(matches!(result, Err(CwsError::BudgetExceeded { .. })));
+        assert_eq!(calls, 1, "budget breaches need a flush, not a retry");
+        assert!(!RetryPolicy::is_retryable(&CwsError::DeadlineExceeded {
+            op: "query",
+            budget_ms: 1
+        }));
+        assert!(RetryPolicy::is_retryable(&CwsError::ShardStalled { shard: 0, timeout_ms: 1 }));
+    }
+
+    #[test]
+    fn quarantine_report_displays_count_and_cause() {
+        let report = QuarantinedRecords {
+            count: 3,
+            first_error: CwsError::InvalidParameter {
+                name: "weight",
+                message: "must be finite".into(),
+            },
+        };
+        let text = report.to_string();
+        assert!(text.contains('3'), "{text}");
+        assert!(text.contains("finite"), "{text}");
+    }
+}

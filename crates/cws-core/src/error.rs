@@ -99,6 +99,43 @@ pub enum CwsError {
         /// Human-readable description of the two values.
         details: String,
     },
+    /// An operation would have pushed a tracked resource past its
+    /// [`ResourceBudget`](crate::budget::ResourceBudget) cap. The operation
+    /// did **not** partially apply: the state it guards is exactly what it
+    /// was before the call, so the caller can flush/finalize to reclaim the
+    /// resource and retry, or drop the work.
+    BudgetExceeded {
+        /// Which resource ran out (`"bytes"` or `"keys"`).
+        resource: &'static str,
+        /// How much was in use before the rejected operation.
+        used: u64,
+        /// How much the rejected operation additionally needed.
+        requested: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A wall-clock deadline expired before the operation completed. The
+    /// deadline is checked at chunk boundaries, so the guarded state is
+    /// consistent (nothing half-applied) and the same call can be retried
+    /// with a fresh deadline.
+    DeadlineExceeded {
+        /// The operation that ran out of time (`"query"`, `"ingest"`…).
+        op: &'static str,
+        /// How long the operation was allowed to run, in milliseconds.
+        budget_ms: u64,
+    },
+    /// An admission-controlled stage (the sharded in-flight batch window)
+    /// is at capacity and the caller asked not to block. The push did not
+    /// ingest its records; retry after a backoff (see
+    /// [`RetryPolicy`](crate::budget::RetryPolicy)) or shed the load.
+    Overloaded {
+        /// The stage that refused admission (`"shard"`, `"aggregator"`…).
+        stage: &'static str,
+        /// How many units were already in flight.
+        in_flight: usize,
+        /// The admission cap that was hit.
+        capacity: usize,
+    },
 }
 
 /// The precise way a serialized summary was malformed (the payload of
@@ -220,6 +257,19 @@ impl fmt::Display for CwsError {
             CwsError::IncompatibleSummaries { field, details } => {
                 write!(f, "summaries cannot be merged: `{field}` differs ({details})")
             }
+            CwsError::BudgetExceeded { resource, used, requested, limit } => {
+                write!(
+                    f,
+                    "{resource} budget exceeded: {used} in use + {requested} requested > \
+                     limit {limit}"
+                )
+            }
+            CwsError::DeadlineExceeded { op, budget_ms } => {
+                write!(f, "`{op}` deadline exceeded after {budget_ms} ms")
+            }
+            CwsError::Overloaded { stage, in_flight, capacity } => {
+                write!(f, "{stage} overloaded: {in_flight} of {capacity} admission slots in flight")
+            }
         }
     }
 }
@@ -265,6 +315,20 @@ mod tests {
         let e = CwsError::IncompatibleSummaries { field: "seed", details: "1 vs 2".into() };
         assert!(e.to_string().contains("seed"));
         assert!(e.to_string().contains("1 vs 2"));
+
+        let e = CwsError::BudgetExceeded { resource: "bytes", used: 96, requested: 32, limit: 100 };
+        assert!(e.to_string().contains("bytes"));
+        assert!(e.to_string().contains("96"));
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("100"));
+
+        let e = CwsError::DeadlineExceeded { op: "query", budget_ms: 250 };
+        assert!(e.to_string().contains("query"));
+        assert!(e.to_string().contains("250"));
+
+        let e = CwsError::Overloaded { stage: "shard", in_flight: 4, capacity: 4 };
+        assert!(e.to_string().contains("shard"));
+        assert!(e.to_string().contains("4 of 4"));
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregates;
+pub mod budget;
 pub mod codec;
 pub mod columns;
 pub mod coordination;
@@ -76,6 +77,9 @@ pub mod weights;
 mod paper_examples;
 
 pub use aggregates::{exact_aggregate, AggregateFn};
+pub use budget::{
+    AdmissionControl, BudgetGuard, Deadline, QuarantinedRecords, ResourceBudget, RetryPolicy,
+};
 pub use codec::DecodedSummary;
 pub use columns::RecordColumns;
 pub use coordination::{CoordinationMode, RankGenerator};
@@ -91,6 +95,9 @@ pub use weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::aggregates::{exact_aggregate, AggregateFn};
+    pub use crate::budget::{
+        AdmissionControl, BudgetGuard, Deadline, QuarantinedRecords, ResourceBudget, RetryPolicy,
+    };
     pub use crate::codec::DecodedSummary;
     pub use crate::columns::RecordColumns;
     pub use crate::coordination::{CoordinationMode, RankGenerator};

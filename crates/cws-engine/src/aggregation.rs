@@ -32,7 +32,41 @@
 //! Summation order follows arrival order per slot, so for a given element
 //! stream the aggregate — and therefore the downstream sample — is exactly
 //! reproducible.
+//!
+//! # Resource governance
+//!
+//! Unbounded `O(distinct keys)` growth is exactly how an aggregation stage
+//! OOMs a service, so the table can be governed by a
+//! [`ResourceBudget`] ([`KeyAggregator::set_budget`]): a hard cap on
+//! distinct keys and/or tracked bytes, enforced *atomically at push
+//! boundaries* — a push that would breach the cap returns
+//! [`CwsError::BudgetExceeded`] with the table exactly as it was (updates
+//! to keys already held never breach; only *new* keys cost admission).
+//! The documented spill path is **flush-early**:
+//! [`KeyAggregator::flush_columns`] drains the finished slots into a
+//! [`RecordColumns`] batch for the sampler and resets the table, after
+//! which the rejected push succeeds. The surrounding `Pipeline` does this
+//! automatically. Flushing early trades exactness for boundedness: a key
+//! whose fragments span a flush boundary is offered to the sampler once
+//! per flush with partial aggregates (the sampler keeps the first offer of
+//! a duplicate key), so flush-early runs are bit-exact with uncapped runs
+//! exactly when no key's fragments straddle a flush.
+//!
+//! # Poison-record quarantine
+//!
+//! The *batched* absorb paths validate record-granularly: an invalid
+//! element (NaN/∞/negative weight, out-of-range assignment) is diverted to
+//! a bounded in-memory dead-letter ring while the rest of the batch
+//! ingests bit-exactly — one poison record no longer fails its whole
+//! batch. [`KeyAggregator::quarantined`] reports
+//! [`QuarantinedRecords`]`{ count, first_error }`; the invariant is
+//! `quarantined + absorbed == offered`. The scalar paths keep their
+//! classic reject-with-typed-error contract (the caller already has
+//! record granularity).
 
+use std::collections::VecDeque;
+
+use cws_core::budget::{BudgetGuard, QuarantinedRecords, ResourceBudget};
 use cws_core::columns::{
     first_invalid_weight, invalid_weight_error, weight_is_valid, RecordColumns,
 };
@@ -42,6 +76,11 @@ use cws_hash::KeyHasher;
 /// Salt for the aggregation-table hash stream: deterministic per master
 /// seed, uncorrelated with the rank and shard-routing hashes.
 const AGGREGATOR_STREAM: u64 = 0x5AAD_EDC0_DE00_0003;
+
+/// A drained quarantine: the lifetime report plus the retained dead
+/// letters — the most recent poison `(key, assignment, weight)` elements,
+/// oldest first.
+pub type QuarantineDrain = (QuarantinedRecords, Vec<(Key, usize, f64)>);
 
 /// How a [`Pipeline`](crate::Pipeline) treats incoming weights.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,11 +126,34 @@ pub struct KeyAggregator {
     slot_scratch: Vec<u32>,
     /// Number of absorbed elements / records (accepted pushes).
     absorbed: u64,
+    /// The armed resource budget (unlimited unless
+    /// [`KeyAggregator::set_budget`] installed caps).
+    budget: BudgetGuard,
+    /// `true` when the budget carries a byte or key cap — gates the
+    /// admission checks so ungoverned ingestion stays on the exact
+    /// historical hot path.
+    governed: bool,
+    /// Bounded dead-letter ring: the most recent quarantined
+    /// `(key, assignment, weight)` poison elements, kept for diagnosis.
+    dead_letters: VecDeque<(Key, usize, f64)>,
+    /// Lifetime count of quarantined records (the ring only holds the
+    /// most recent [`KeyAggregator::DEAD_LETTER_CAPACITY`]).
+    quarantined_count: u64,
+    /// The typed error that condemned the first quarantined record since
+    /// the last [`KeyAggregator::take_quarantined`].
+    first_quarantine_error: Option<CwsError>,
 }
 
 impl KeyAggregator {
     /// Initial index size; grows by doubling at 50% load.
     const INITIAL_TABLE: usize = 1024;
+
+    /// Capacity of the dead-letter ring; older poison records are evicted
+    /// (the lifetime count keeps counting).
+    pub const DEAD_LETTER_CAPACITY: usize = 256;
+
+    /// Sentinel slot marking a quarantined element in the batched paths.
+    const QUARANTINED: u32 = u32::MAX;
 
     /// Creates an aggregator for `num_assignments` assignments.
     ///
@@ -111,7 +173,68 @@ impl KeyAggregator {
             mask: (Self::INITIAL_TABLE - 1) as u64,
             slot_scratch: Vec::new(),
             absorbed: 0,
+            budget: BudgetGuard::unlimited(),
+            governed: false,
+            dead_letters: VecDeque::new(),
+            quarantined_count: 0,
+            first_quarantine_error: None,
         }
+    }
+
+    /// Installs (and arms) a resource budget. Key/byte caps are enforced
+    /// from the next push on; current contents are charged immediately, so
+    /// installing a budget smaller than what the table already holds makes
+    /// the *next* new-key push fail (the documented response is
+    /// [`KeyAggregator::flush_columns`]).
+    pub fn set_budget(&mut self, budget: &ResourceBudget) {
+        self.budget = budget.guard();
+        self.governed = budget.max_bytes().is_some() || budget.max_keys().is_some();
+        // Current contents count against the new budget, but installing a
+        // budget is configuration, not a push — it must not fail. Charge
+        // unchecked via the accessors' saturating behaviour: an over-cap
+        // charge is rejected, leaving usage at 0; the next admission check
+        // recomputes from the true table size anyway.
+        let _ = self.budget.try_charge_keys_to(self.keys.len() as u64);
+        let _ = self.budget.try_charge_bytes_to(self.tracked_bytes());
+    }
+
+    /// Bytes of governed storage currently held: the dense key column and
+    /// weight lanes plus the open-addressing index (the structures that
+    /// grow with distinct keys). The constant-bounded dead-letter ring and
+    /// scratch buffers are excluded. Deterministic — computed from element
+    /// counts, not allocator internals.
+    #[must_use]
+    pub fn tracked_bytes(&self) -> u64 {
+        self.tracked_bytes_for(self.keys.len())
+    }
+
+    /// The high-water mark of tracked bytes over the aggregator's
+    /// lifetime (survives [`KeyAggregator::flush_columns`]). Only
+    /// maintained while a budget is installed-armed; for ad-hoc peak
+    /// accounting install `ResourceBudget::unlimited()`.
+    #[must_use]
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.budget.peak_bytes().max(self.tracked_bytes())
+    }
+
+    /// Tracked bytes the table would hold at `total_keys` keys, including
+    /// the index doublings needed to keep ≤50% load.
+    fn tracked_bytes_for(&self, total_keys: usize) -> u64 {
+        let per_key = 8 * (1 + self.lanes.len()) as u64;
+        let mut table_len = self.table.len();
+        while total_keys * 2 > table_len {
+            table_len *= 2;
+        }
+        per_key * total_keys as u64 + 4 * table_len as u64
+    }
+
+    /// Admission check for `new_keys` additional distinct keys: charges
+    /// the budget to the prospective totals, rejecting (without charging)
+    /// on a breach.
+    fn admit_new_keys(&self, new_keys: usize) -> Result<()> {
+        let total = self.keys.len() + new_keys;
+        self.budget.try_charge_keys_to(total as u64)?;
+        self.budget.try_charge_bytes_to(self.tracked_bytes_for(total))
     }
 
     /// Number of weight assignments.
@@ -169,7 +292,12 @@ impl KeyAggregator {
 
     /// Doubles the index and re-links every dense slot.
     fn grow(&mut self) {
-        let new_len = self.table.len() * 2;
+        self.rebuild_table(self.table.len() * 2);
+    }
+
+    /// Rebuilds the index at `new_len` entries and re-links every dense
+    /// slot (used by growth and by the cap-breach rollback path).
+    fn rebuild_table(&mut self, new_len: usize) {
         self.mask = (new_len - 1) as u64;
         self.table.clear();
         self.table.resize(new_len, 0);
@@ -180,6 +308,89 @@ impl KeyAggregator {
             }
             self.table[position as usize] = (slot + 1) as u32;
         }
+    }
+
+    /// The dense slot of `key` if it is already held — never inserts.
+    #[inline]
+    fn find_slot(&self, key: Key) -> Option<usize> {
+        let mut position = self.hasher.hash_u64(key) & self.mask;
+        loop {
+            let entry = self.table[position as usize];
+            if entry == 0 {
+                return None;
+            }
+            let slot = (entry - 1) as usize;
+            if self.keys[slot] == key {
+                return Some(slot);
+            }
+            position = (position + 1) & self.mask;
+        }
+    }
+
+    /// Undoes every insert a batched path performed past `old_len` keys:
+    /// truncates the dense storage and rebuilds the index at
+    /// `old_table_len`, restoring the exact pre-batch state. `#[cold]` —
+    /// this is the cap-breach error path.
+    #[cold]
+    fn rollback_keys_to(&mut self, old_len: usize, old_table_len: usize) {
+        self.keys.truncate(old_len);
+        for lane in &mut self.lanes {
+            lane.truncate(old_len);
+        }
+        self.rebuild_table(old_table_len);
+    }
+
+    /// Diverts one poison element to the dead-letter ring.
+    #[cold]
+    fn quarantine(&mut self, key: Key, assignment: usize, weight: f64, error: CwsError) {
+        if self.dead_letters.len() == Self::DEAD_LETTER_CAPACITY {
+            self.dead_letters.pop_front();
+        }
+        self.dead_letters.push_back((key, assignment, weight));
+        self.quarantined_count += 1;
+        if self.first_quarantine_error.is_none() {
+            self.first_quarantine_error = Some(error);
+        }
+    }
+
+    /// The quarantine report since the last
+    /// [`KeyAggregator::take_quarantined`], or `None` when every offered
+    /// record was absorbed. The invariant the batched paths maintain:
+    /// `quarantined().count + absorbed() == offered`.
+    #[must_use]
+    pub fn quarantined(&self) -> Option<QuarantinedRecords> {
+        let first_error = self.first_quarantine_error.clone()?;
+        Some(QuarantinedRecords { count: self.quarantined_count, first_error })
+    }
+
+    /// Takes (and clears) the quarantine report together with the retained
+    /// dead letters — the most recent
+    /// [`KeyAggregator::DEAD_LETTER_CAPACITY`] poison
+    /// `(key, assignment, weight)` elements, oldest first.
+    pub fn take_quarantined(&mut self) -> Option<QuarantineDrain> {
+        let report = self.quarantined()?;
+        self.quarantined_count = 0;
+        self.first_quarantine_error = None;
+        Some((report, self.dead_letters.drain(..).collect()))
+    }
+
+    /// Flush-early: drains the finished slots into a [`RecordColumns`]
+    /// batch (key first-seen order, zero-copy) and resets the table to its
+    /// initial size, releasing the governed bytes/keys — the documented
+    /// spill path after a [`CwsError::BudgetExceeded`] rejection. The
+    /// lifetime counters ([`KeyAggregator::absorbed`], quarantine, peak
+    /// bytes) survive the flush.
+    ///
+    /// A key whose fragments straddle a flush boundary reaches the sampler
+    /// once per flush with partial aggregates; see the module docs for the
+    /// exactness contract.
+    pub fn flush_columns(&mut self) -> RecordColumns {
+        let keys = std::mem::take(&mut self.keys);
+        let lanes: Vec<Vec<f64>> = self.lanes.iter_mut().map(std::mem::take).collect();
+        self.rebuild_table(Self::INITIAL_TABLE);
+        let _ = self.budget.try_charge_keys_to(0);
+        let _ = self.budget.try_charge_bytes_to(self.tracked_bytes());
+        RecordColumns::from_parts(keys, lanes)
     }
 
     /// Combines one fragment into a slot cell. Returns `false` when a sum
@@ -225,8 +436,12 @@ impl KeyAggregator {
     /// # Errors
     /// Returns [`CwsError::AssignmentOutOfRange`] for an out-of-range
     /// assignment, an invalid-weight error for a NaN, infinite or negative
-    /// fragment, and an overflow error if the slot's running sum would
-    /// reach `+∞`; rejected elements leave the table's weights untouched.
+    /// fragment, an overflow error if the slot's running sum would reach
+    /// `+∞`, and — under an installed [`ResourceBudget`] — a
+    /// [`CwsError::BudgetExceeded`] when `key` is *new* and admitting it
+    /// would breach the key/byte cap (flush with
+    /// [`KeyAggregator::flush_columns`] and retry). Rejected elements
+    /// leave the table untouched.
     #[inline]
     pub fn absorb_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
         if assignment >= self.lanes.len() {
@@ -238,7 +453,17 @@ impl KeyAggregator {
         if !weight_is_valid(weight) {
             return Err(invalid_weight_error(key, assignment, weight));
         }
-        let slot = self.slot_of(key);
+        let slot = if self.governed {
+            match self.find_slot(key) {
+                Some(slot) => slot,
+                None => {
+                    self.admit_new_keys(1)?;
+                    self.slot_of(key)
+                }
+            }
+        } else {
+            self.slot_of(key)
+        };
         if !Self::combine(self.mode, &mut self.lanes[assignment][slot], weight) {
             return Err(Self::overflow_error(key, assignment));
         }
@@ -258,32 +483,74 @@ impl KeyAggregator {
     /// the fragments into the lanes.
     ///
     /// # Errors
-    /// As [`KeyAggregator::absorb_element`]. Validation runs before any
-    /// element is absorbed, so on an invalid assignment or weight the
-    /// table is unchanged. An overflow in pass 3 leaves the elements
-    /// before the offending one combined (treat the stream as poisoned);
-    /// because slots were already resolved for the whole batch, keys whose
-    /// fragments follow the overflow point may remain as zero-weight rows
-    /// — harmless downstream (zero-weight records are never sampled), but
-    /// [`KeyAggregator::num_keys`] can exceed what element-at-a-time
-    /// absorption of the same truncated stream would report.
+    /// Invalid elements (NaN/∞/negative weight, out-of-range assignment)
+    /// no longer fail the batch: they are diverted **record-granularly**
+    /// to the dead-letter ring (see [`KeyAggregator::quarantined`]) while
+    /// every valid element ingests bit-exactly — identical to absorbing
+    /// the valid elements alone. Under an installed [`ResourceBudget`], a
+    /// batch whose new keys would breach the key/byte cap is rejected
+    /// *whole* with [`CwsError::BudgetExceeded`] and the table (and the
+    /// quarantine counters) exactly as before the call, so the same batch
+    /// can be re-offered after a flush. An overflow in pass 3 leaves the
+    /// elements before the offending one combined (treat the stream as
+    /// poisoned); because slots were already resolved for the whole batch,
+    /// keys whose fragments follow the overflow point may remain as
+    /// zero-weight rows — harmless downstream (zero-weight records are
+    /// never sampled), but [`KeyAggregator::num_keys`] can exceed what
+    /// element-at-a-time absorption of the same truncated stream would
+    /// report.
     pub fn absorb_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
-        for &(key, assignment, weight) in elements {
-            if assignment >= self.lanes.len() {
-                return Err(CwsError::AssignmentOutOfRange {
-                    index: assignment,
-                    available: self.lanes.len(),
-                });
-            }
-            if !weight_is_valid(weight) {
-                return Err(invalid_weight_error(key, assignment, weight));
-            }
-        }
+        // Snapshot for the all-or-nothing cap rollback; quarantines are
+        // staged locally and committed only once the batch is admitted, so
+        // a rejected batch leaves the ring and counters untouched too.
+        let old_len = self.keys.len();
+        let old_table_len = self.table.len();
+        let mut staged_poison: Vec<(Key, usize, f64, CwsError)> = Vec::new();
+
+        // Pass 1: record-granular validation — poison elements are marked
+        // with the sentinel so the later passes skip them.
         let mut slots = std::mem::take(&mut self.slot_scratch);
         slots.clear();
-        slots.extend(elements.iter().map(|&(key, _, _)| self.slot_of(key) as u32));
+        slots.reserve(elements.len());
+        for &(key, assignment, weight) in elements {
+            if assignment >= self.lanes.len() {
+                let error = CwsError::AssignmentOutOfRange {
+                    index: assignment,
+                    available: self.lanes.len(),
+                };
+                staged_poison.push((key, assignment, weight, error));
+                slots.push(Self::QUARANTINED);
+            } else if !weight_is_valid(weight) {
+                let error = invalid_weight_error(key, assignment, weight);
+                staged_poison.push((key, assignment, weight, error));
+                slots.push(Self::QUARANTINED);
+            } else {
+                slots.push(0);
+            }
+        }
+        // Pass 2: resolve every surviving key to its dense slot (the tight
+        // probe loop), then settle admission once for the whole batch.
+        for (slot, &(key, _, _)) in slots.iter_mut().zip(elements) {
+            if *slot != Self::QUARANTINED {
+                *slot = self.slot_of(key) as u32;
+            }
+        }
+        if self.governed {
+            if let Err(error) = self.admit_new_keys(0) {
+                self.rollback_keys_to(old_len, old_table_len);
+                self.slot_scratch = slots;
+                return Err(error);
+            }
+        }
+        for (key, assignment, weight, error) in staged_poison {
+            self.quarantine(key, assignment, weight, error);
+        }
+        // Pass 3: combine the surviving fragments into the lanes.
         let mut result = Ok(());
         for (&(key, assignment, weight), &slot) in elements.iter().zip(&slots) {
+            if slot == Self::QUARANTINED {
+                continue;
+            }
             if !Self::combine(self.mode, &mut self.lanes[assignment][slot as usize], weight) {
                 result = Err(Self::overflow_error(key, assignment));
                 break;
@@ -299,9 +566,12 @@ impl KeyAggregator {
     ///
     /// # Errors
     /// Returns an invalid-weight error for a NaN, infinite or negative
-    /// entry (the fragment is rejected whole), or an overflow error if a
+    /// entry (the fragment is rejected whole), an overflow error if a
     /// lane's running sum would reach `+∞` (lanes before the overflowing
-    /// one were combined; treat the stream as poisoned).
+    /// one were combined; treat the stream as poisoned), or — under an
+    /// installed [`ResourceBudget`] — [`CwsError::BudgetExceeded`] when
+    /// admitting a new key would breach the cap (the table is untouched;
+    /// flush and retry).
     ///
     /// # Panics
     /// Panics if the vector length differs from the number of assignments.
@@ -310,6 +580,9 @@ impl KeyAggregator {
         assert_eq!(weights.len(), self.lanes.len(), "weight vector arity mismatch");
         if let Some(assignment) = first_invalid_weight(weights) {
             return Err(invalid_weight_error(key, assignment, weights[assignment]));
+        }
+        if self.governed && self.find_slot(key).is_none() {
+            self.admit_new_keys(1)?;
         }
         let slot = self.slot_of(key);
         for (assignment, (lane, &weight)) in self.lanes.iter_mut().zip(weights).enumerate() {
@@ -324,27 +597,76 @@ impl KeyAggregator {
     /// Absorbs a structure-of-arrays batch of record-shaped fragments.
     ///
     /// # Errors
-    /// As [`KeyAggregator::absorb_record`]; the batch is validated before
-    /// any of it is absorbed, so on a validation error the table is
-    /// unchanged (an overflow mid-batch leaves the records before the
-    /// offending one combined).
+    /// A record with any invalid weight (NaN/∞/negative) is diverted
+    /// **whole** to the dead-letter ring (its first bad lane recorded as
+    /// the cause) while the remaining records ingest bit-exactly — see
+    /// [`KeyAggregator::quarantined`]. Under an installed
+    /// [`ResourceBudget`], a batch whose new keys would breach the cap is
+    /// rejected whole with [`CwsError::BudgetExceeded`] and the table as
+    /// before the call. An overflow mid-batch leaves the records before
+    /// the offending one combined.
     ///
     /// # Panics
     /// Panics if the batch's assignment count differs from the
     /// aggregator's.
     pub fn absorb_columns(&mut self, columns: &RecordColumns) -> Result<()> {
         assert_eq!(columns.num_assignments(), self.lanes.len(), "weight vector arity mismatch");
-        columns.validate()?;
-        for (index, &key) in columns.keys().iter().enumerate() {
-            let slot = self.slot_of(key);
+        let old_len = self.keys.len();
+        let old_table_len = self.table.len();
+        let mut staged_poison: Vec<(Key, usize, f64, CwsError)> = Vec::new();
+
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.reserve(columns.len());
+        if columns.validate().is_ok() {
+            // Clean batch (the overwhelmingly common case): one branch-free
+            // lane-wise validation, no row-wise rescan.
+            slots.resize(columns.len(), 0);
+        } else {
+            'rows: for (index, &key) in columns.keys().iter().enumerate() {
+                for assignment in 0..self.lanes.len() {
+                    let weight = columns.lane(assignment)[index];
+                    if !weight_is_valid(weight) {
+                        let error = invalid_weight_error(key, assignment, weight);
+                        staged_poison.push((key, assignment, weight, error));
+                        slots.push(Self::QUARANTINED);
+                        continue 'rows;
+                    }
+                }
+                slots.push(0);
+            }
+        }
+        for (slot, &key) in slots.iter_mut().zip(columns.keys()) {
+            if *slot != Self::QUARANTINED {
+                *slot = self.slot_of(key) as u32;
+            }
+        }
+        if self.governed {
+            if let Err(error) = self.admit_new_keys(0) {
+                self.rollback_keys_to(old_len, old_table_len);
+                self.slot_scratch = slots;
+                return Err(error);
+            }
+        }
+        for (key, assignment, weight, error) in staged_poison {
+            self.quarantine(key, assignment, weight, error);
+        }
+        let mut result = Ok(());
+        'combine: for (index, (&key, &slot)) in columns.keys().iter().zip(&slots).enumerate() {
+            if slot == Self::QUARANTINED {
+                continue;
+            }
             for (assignment, lane) in self.lanes.iter_mut().enumerate() {
-                if !Self::combine(self.mode, &mut lane[slot], columns.lane(assignment)[index]) {
-                    return Err(Self::overflow_error(key, assignment));
+                let weight = columns.lane(assignment)[index];
+                if !Self::combine(self.mode, &mut lane[slot as usize], weight) {
+                    result = Err(Self::overflow_error(key, assignment));
+                    break 'combine;
                 }
             }
             self.absorbed += 1;
         }
-        Ok(())
+        self.slot_scratch = slots;
+        result
     }
 
     /// Finishes aggregation, handing the dense storage over as one
@@ -459,14 +781,206 @@ mod tests {
     }
 
     #[test]
-    fn batch_validation_rejects_whole_batch_before_absorbing() {
+    fn batched_poison_is_quarantined_record_granularly() {
         let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
-        let err = aggregator.absorb_elements(&[(1, 0, 1.0), (2, 5, 1.0), (3, 0, 1.0)]).unwrap_err();
-        assert!(matches!(err, CwsError::AssignmentOutOfRange { index: 5, available: 2 }));
-        let err = aggregator.absorb_elements(&[(1, 0, 1.0), (2, 1, f64::NAN)]).unwrap_err();
-        assert!(err.to_string().contains("key 2"), "{err}");
+        aggregator
+            .absorb_elements(&[(1, 0, 1.0), (2, 5, 1.0), (3, 0, 2.0), (4, 1, f64::NAN)])
+            .unwrap();
+        assert_eq!(aggregator.absorbed(), 2, "valid elements must survive poison neighbours");
+        let report = aggregator.quarantined().expect("poison must be reported");
+        assert_eq!(report.count, 2);
+        assert!(
+            matches!(report.first_error, CwsError::AssignmentOutOfRange { index: 5, available: 2 }),
+            "{report:?}"
+        );
+        assert_eq!(report.count + aggregator.absorbed(), 4, "offered == absorbed + quarantined");
+
+        // The surviving elements aggregated exactly as a clean stream would.
+        let mut clean = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        clean.absorb_elements(&[(1, 0, 1.0), (3, 0, 2.0)]).unwrap();
+        let (dirty, clean) = (aggregator.clone().into_columns(), clean.into_columns());
+        assert_eq!(dirty, clean);
+
+        // Draining hands back the dead letters and clears the report.
+        let (taken, letters) = aggregator.take_quarantined().unwrap();
+        assert_eq!(taken.count, 2);
+        assert_eq!(letters[0], (2, 5, 1.0));
+        assert_eq!((letters[1].0, letters[1].1), (4, 1));
+        assert!(letters[1].2.is_nan());
+        assert!(aggregator.quarantined().is_none());
+    }
+
+    #[test]
+    fn column_batches_quarantine_poison_rows_whole() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        let mut batch = RecordColumns::new(2);
+        batch.push(1, &[1.0, 2.0]);
+        batch.push(2, &[1.0, -3.0]); // poison row: negative weight in lane 1
+        batch.push(3, &[4.0, 5.0]);
+        aggregator.absorb_columns(&batch).unwrap();
+        assert_eq!(aggregator.absorbed(), 2);
+        let report = aggregator.quarantined().unwrap();
+        assert_eq!(report.count, 1);
+        assert!(report.first_error.to_string().contains("key 2"), "{}", report.first_error);
+        let columns = aggregator.into_columns();
+        assert_eq!(columns.keys(), &[1, 3], "the poison row must not leave a zero-weight key");
+        assert!(columns.validate().is_ok());
+    }
+
+    #[test]
+    fn dead_letter_ring_is_bounded_while_the_count_keeps_counting() {
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 1, 1);
+        let poison: Vec<(u64, usize, f64)> = (0..600u64).map(|i| (i, 0usize, f64::NAN)).collect();
+        aggregator.absorb_elements(&poison).unwrap();
         assert_eq!(aggregator.absorbed(), 0);
-        assert_eq!(aggregator.num_keys(), 0, "validation precedes any table mutation");
+        let (report, letters) = aggregator.take_quarantined().unwrap();
+        assert_eq!(report.count, 600);
+        assert_eq!(letters.len(), KeyAggregator::DEAD_LETTER_CAPACITY);
+        assert_eq!(letters.last().unwrap().0, 599, "the ring keeps the most recent letters");
+    }
+
+    #[test]
+    fn key_cap_of_one_admits_one_key_and_updates_to_it() {
+        let budget = ResourceBudget::unlimited().with_max_keys(1);
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 1, 1);
+        aggregator.set_budget(&budget);
+        aggregator.absorb_element(10, 0, 1.0).unwrap();
+        aggregator.absorb_element(10, 0, 2.0).unwrap(); // update: no new admission
+        let err = aggregator.absorb_element(11, 0, 1.0).unwrap_err();
+        assert!(matches!(err, CwsError::BudgetExceeded { resource: "keys", limit: 1, .. }));
+        assert_eq!(aggregator.num_keys(), 1, "a rejected key must not be inserted");
+        assert_eq!(aggregator.absorbed(), 2);
+        // Flush-early frees the slot; the rejected key now fits.
+        let flushed = aggregator.flush_columns();
+        assert_eq!(flushed.keys(), &[10]);
+        assert_eq!(flushed.lane(0), &[3.0]);
+        aggregator.absorb_element(11, 0, 1.0).unwrap();
+        assert_eq!(aggregator.num_keys(), 1);
+    }
+
+    #[test]
+    fn key_cap_exactly_at_key_count_is_not_a_breach() {
+        let budget = ResourceBudget::unlimited().with_max_keys(5);
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 1, 1);
+        aggregator.set_budget(&budget);
+        for key in 0..5u64 {
+            aggregator.absorb_element(key, 0, 1.0).unwrap();
+        }
+        assert_eq!(aggregator.num_keys(), 5, "cap == key count must admit every key");
+        for key in 0..5u64 {
+            aggregator.absorb_element(key, 0, 1.0).unwrap(); // updates still fine
+        }
+        assert!(aggregator.absorb_element(5, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn capped_batch_rejection_is_atomic_and_retryable_after_flush() {
+        let budget = ResourceBudget::unlimited().with_max_keys(3);
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 1, 1);
+        aggregator.set_budget(&budget);
+        aggregator.absorb_elements(&[(1, 0, 1.0), (2, 0, 1.0)]).unwrap();
+        let batch = [(2, 0, 5.0), (3, 0, 1.0), (4, 0, 1.0), (0, 0, f64::NAN)];
+        let err = aggregator.absorb_elements(&batch).unwrap_err();
+        assert!(matches!(err, CwsError::BudgetExceeded { resource: "keys", limit: 3, .. }));
+        // All-or-nothing: no keys, weights, counts or quarantines applied.
+        assert_eq!(aggregator.num_keys(), 2);
+        assert_eq!(aggregator.absorbed(), 2);
+        assert!(aggregator.quarantined().is_none(), "a rejected batch must not quarantine");
+        // After a flush the identical batch is admitted; the poison record
+        // is quarantined and the valid ones ingest.
+        let flushed = aggregator.flush_columns();
+        assert_eq!(flushed.keys(), &[1, 2]);
+        aggregator.absorb_elements(&batch).unwrap();
+        assert_eq!(aggregator.num_keys(), 3);
+        assert_eq!(aggregator.quarantined().unwrap().count, 1);
+    }
+
+    #[test]
+    fn flush_early_then_continue_is_bit_exact_when_key_phases_are_disjoint() {
+        // Phase 1 keys 0..40, phase 2 keys 40..80 — no key straddles the
+        // flush boundary, so capped (flush-early) and uncapped runs must
+        // produce identical column batches once concatenated.
+        let elements: Vec<(u64, usize, f64)> = (0..800u64)
+            .map(|i| {
+                let phase = i / 400;
+                (phase * 40 + i % 40, (i % 2) as usize, ((i % 13) + 1) as f64 * 0.25)
+            })
+            .collect();
+        let mut uncapped = KeyAggregator::new(Aggregation::SumByKey, 2, 9);
+        uncapped.absorb_elements(&elements).unwrap();
+        let reference = uncapped.into_columns();
+
+        let mut capped = KeyAggregator::new(Aggregation::SumByKey, 2, 9);
+        capped.set_budget(&ResourceBudget::unlimited().with_max_keys(40));
+        let mut flushed_batches: Vec<RecordColumns> = Vec::new();
+        // Chunks of 40 divide the 400-element phases, so no chunk (and
+        // therefore no flush) straddles a phase boundary.
+        for chunk in elements.chunks(40) {
+            match capped.absorb_elements(chunk) {
+                Ok(()) => {}
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    flushed_batches.push(capped.flush_columns());
+                    capped.absorb_elements(chunk).unwrap();
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        flushed_batches.push(capped.into_columns());
+        assert!(flushed_batches.len() > 1, "the cap must actually force a flush");
+        let mut recombined = RecordColumns::new(2);
+        for batch in &flushed_batches {
+            recombined.extend_from(batch, 0, batch.len());
+        }
+        assert_eq!(recombined.keys(), reference.keys());
+        for assignment in 0..2 {
+            for (a, b) in recombined.lane(assignment).iter().zip(reference.lane(assignment)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn byte_budget_caps_tracked_growth() {
+        // Enough for the initial index (4 KiB) plus a few dozen keys of
+        // dense storage, but far below 10k keys.
+        let budget = ResourceBudget::unlimited().with_max_bytes(8 * 1024);
+        let mut aggregator = KeyAggregator::new(Aggregation::SumByKey, 2, 1);
+        aggregator.set_budget(&budget);
+        let mut admitted = 0u64;
+        let mut rejected = false;
+        for key in 0..10_000u64 {
+            match aggregator.absorb_element(key, 0, 1.0) {
+                Ok(()) => admitted += 1,
+                Err(CwsError::BudgetExceeded { resource: "bytes", .. }) => {
+                    rejected = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(rejected, "an 8 KiB budget cannot hold 10k keys");
+        assert!(admitted > 0, "the budget must admit keys up to the cap");
+        assert!(aggregator.tracked_bytes() <= 8 * 1024);
+        assert_eq!(aggregator.peak_tracked_bytes(), aggregator.tracked_bytes());
+    }
+
+    #[test]
+    fn chunked_governed_batches_tolerate_one_element_chunks() {
+        // Chunk size 1 exercises the batched admission path at the same
+        // granularity as the scalar one; both must agree exactly.
+        let budget = ResourceBudget::unlimited().with_max_keys(4);
+        let mut scalar = KeyAggregator::new(Aggregation::MaxByKey, 1, 2);
+        scalar.set_budget(&budget);
+        let mut batched = KeyAggregator::new(Aggregation::MaxByKey, 1, 2);
+        batched.set_budget(&budget);
+        for key in 0..6u64 {
+            let s = scalar.absorb_element(key, 0, key as f64);
+            let b = batched.absorb_elements(&[(key, 0, key as f64)]);
+            assert_eq!(s.is_ok(), b.is_ok(), "key {key}");
+        }
+        assert_eq!(scalar.num_keys(), 4);
+        let (scalar, batched) = (scalar.into_columns(), batched.into_columns());
+        assert_eq!(scalar, batched);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use cws_core::budget::QuarantinedRecords;
 use cws_core::columns::RecordColumns;
 use cws_core::summary::DispersedSummary;
 use cws_core::{CwsError, Key, Result};
@@ -107,6 +108,11 @@ pub struct EpochedPipeline {
     epoch: u64,
     latest: Option<Arc<Summary>>,
     degraded: Option<DegradedState>,
+    /// Quarantine totals of closed epochs (each publish swaps the inner
+    /// pipeline, which would otherwise silently drop its counters).
+    quarantined_past: Option<QuarantinedRecords>,
+    /// Peak tracked aggregation bytes across closed epochs.
+    peak_bytes_past: u64,
 }
 
 impl EpochedPipeline {
@@ -118,7 +124,15 @@ impl EpochedPipeline {
     /// As [`PipelineBuilder::build`].
     pub fn new(builder: PipelineBuilder) -> Result<Self> {
         let current = builder.clone().build()?;
-        Ok(Self { builder, current, epoch: 0, latest: None, degraded: None })
+        Ok(Self {
+            builder,
+            current,
+            epoch: 0,
+            latest: None,
+            degraded: None,
+            quarantined_past: None,
+            peak_bytes_past: 0,
+        })
     }
 
     /// The pipeline ingesting the current (unpublished) epoch.
@@ -157,6 +171,41 @@ impl EpochedPipeline {
         self.degraded.is_some()
     }
 
+    /// Lifetime quarantine totals: poison records diverted in the current
+    /// epoch **plus** every epoch closed before it. Each publish swaps the
+    /// inner pipeline, so per-epoch counters alone would silently reset;
+    /// this survives the swap. `None` when nothing was ever quarantined.
+    #[must_use]
+    pub fn quarantined_lifetime(&self) -> Option<QuarantinedRecords> {
+        let mut total = self.quarantined_past.clone();
+        if let Some(current) = self.current.quarantined() {
+            match total.as_mut() {
+                Some(total) => total.count += current.count,
+                None => total = Some(current),
+            }
+        }
+        total
+    }
+
+    /// High-water mark of tracked aggregation bytes across all epochs —
+    /// the current one and every one closed before it. Zero without a
+    /// byte budget (see [`PipelineBuilder::budget`]).
+    #[must_use]
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.peak_bytes_past.max(self.current.peak_tracked_bytes())
+    }
+
+    /// Folds a closed epoch's quarantine report into the lifetime total,
+    /// keeping the earliest first-error for forensics.
+    fn absorb_quarantine(&mut self, report: Option<QuarantinedRecords>) {
+        if let Some(report) = report {
+            match self.quarantined_past.as_mut() {
+                Some(total) => total.count += report.count,
+                None => self.quarantined_past = Some(report),
+            }
+        }
+    }
+
     /// Seeds [`latest`](Self::latest) and the epoch counter from a
     /// recovered snapshot — the restart half of the recovery procedure:
     /// after [`SnapshotStore::recover`](crate::store::SnapshotStore::recover)
@@ -192,6 +241,10 @@ impl EpochedPipeline {
         };
         let outgoing = std::mem::replace(&mut self.current, replacement);
         let records = outgoing.processed();
+        // Harvest governance counters before finalize consumes the epoch's
+        // pipeline — they are lifetime totals, not per-epoch ones.
+        self.absorb_quarantine(outgoing.quarantined());
+        self.peak_bytes_past = self.peak_bytes_past.max(outgoing.peak_tracked_bytes());
         let summary = match outgoing.finalize() {
             Ok(summary) => Arc::new(summary),
             Err(error) => {
@@ -389,6 +442,20 @@ impl WindowedPipeline {
     #[must_use]
     pub fn degraded(&self) -> Option<&DegradedState> {
         self.epochs.degraded()
+    }
+
+    /// Lifetime quarantine totals across every window — see
+    /// [`EpochedPipeline::quarantined_lifetime`].
+    #[must_use]
+    pub fn quarantined_lifetime(&self) -> Option<QuarantinedRecords> {
+        self.epochs.quarantined_lifetime()
+    }
+
+    /// High-water mark of tracked aggregation bytes across every window —
+    /// see [`EpochedPipeline::peak_tracked_bytes`].
+    #[must_use]
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.epochs.peak_tracked_bytes()
     }
 
     /// `true` when the last roll attempt failed (the ring is serving stale
@@ -688,6 +755,30 @@ mod tests {
         assert_eq!(epochs.epochs_published(), 2);
         assert_eq!(epochs.latest().unwrap().num_distinct_keys(), 1);
         std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn governance_counters_survive_epoch_swaps() {
+        let builder = dispersed_builder()
+            .aggregation(crate::aggregation::Aggregation::SumByKey)
+            .budget(cws_core::budget::ResourceBudget::unlimited().with_max_bytes(1 << 20));
+        let mut epochs = EpochedPipeline::new(builder).unwrap();
+        // Epoch 1: one poison element diverted amid healthy traffic.
+        epochs.current.push_elements(&[(1, 0, 1.0), (2, 0, f64::NAN)]).unwrap();
+        let peak_epoch1 = epochs.peak_tracked_bytes();
+        assert!(peak_epoch1 > 0);
+        assert_eq!(epochs.quarantined_lifetime().unwrap().count, 1);
+        epochs.publish().unwrap();
+        // The swap replaced the inner pipeline; lifetime totals must not
+        // reset with it.
+        assert_eq!(epochs.quarantined_lifetime().unwrap().count, 1);
+        assert_eq!(epochs.peak_tracked_bytes(), peak_epoch1);
+        // Epoch 2 adds another poison; totals accumulate across epochs.
+        epochs.current.push_elements(&[(3, 1, -1.0), (4, 1, 2.0)]).unwrap();
+        assert_eq!(epochs.quarantined_lifetime().unwrap().count, 2);
+        epochs.publish().unwrap();
+        assert_eq!(epochs.quarantined_lifetime().unwrap().count, 2);
+        assert!(epochs.peak_tracked_bytes() >= peak_epoch1);
     }
 
     #[test]

@@ -57,12 +57,12 @@ pub mod query;
 pub mod store;
 pub mod summary;
 
-pub use aggregation::{Aggregation, KeyAggregator};
+pub use aggregation::{Aggregation, KeyAggregator, QuarantineDrain};
 pub use continuous::{DegradedState, Drift, EpochReport, EpochedPipeline, WindowedPipeline};
 pub use ingest::Ingest;
 pub use pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
 pub use query::{Estimate, Query};
-pub use store::{QuarantinedSnapshot, RecoveryReport, SnapshotStore};
+pub use store::{QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore};
 pub use summary::Summary;
 
 /// Commonly used items.
@@ -74,6 +74,8 @@ pub mod prelude {
     pub use crate::ingest::Ingest;
     pub use crate::pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
     pub use crate::query::{Estimate, Query};
-    pub use crate::store::{QuarantinedSnapshot, RecoveryReport, SnapshotStore};
+    pub use crate::store::{
+        QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore,
+    };
     pub use crate::summary::Summary;
 }

@@ -2,7 +2,9 @@
 //! finalized [`Summary`] — over every sampling back-end of the workspace.
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use cws_core::budget::{AdmissionControl, Deadline, QuarantinedRecords, ResourceBudget};
 use cws_core::columns::RecordColumns;
 use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 use cws_core::{CoordinationMode, CwsError, Key, RankFamily, Result, WorkerFault};
@@ -72,6 +74,10 @@ pub struct PipelineBuilder {
     seed: u64,
     assignments: Option<usize>,
     flush_threshold: Option<usize>,
+    budget: ResourceBudget,
+    deadline: Option<Duration>,
+    stall_timeout: Option<Duration>,
+    admission: AdmissionControl,
 }
 
 impl Default for PipelineBuilder {
@@ -86,6 +92,10 @@ impl Default for PipelineBuilder {
             seed: 0,
             assignments: None,
             flush_threshold: None,
+            budget: ResourceBudget::unlimited(),
+            deadline: None,
+            stall_timeout: None,
+            admission: AdmissionControl::Block,
         }
     }
 }
@@ -159,6 +169,51 @@ impl PipelineBuilder {
         self
     }
 
+    /// Caps the resources governed stages may hold (default: unlimited).
+    ///
+    /// Byte and key caps bound the aggregation stage's tracked memory: a
+    /// push that would breach them first spills the aggregate to the
+    /// sampling back-end ("flush early", see
+    /// [`KeyAggregator::flush_columns`]) and only fails — with a typed
+    /// [`CwsError::BudgetExceeded`] — if even the freshly drained table
+    /// cannot hold it. A budget deadline behaves exactly like
+    /// [`deadline`](Self::deadline).
+    #[must_use]
+    pub fn budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms a wall-clock deadline over the pipeline's whole ingest life,
+    /// starting at [`build`](Self::build) and checked at every push / chunk
+    /// boundary. Pushes after expiry return
+    /// [`CwsError::DeadlineExceeded`]; [`finalize`](Ingest::finalize) stays
+    /// available either way, so ingested work is never lost to a timeout.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bounds how long a sharded push waits for a wedged shard before
+    /// returning [`CwsError::ShardStalled`] (default 30 s; sharded
+    /// execution only). Facade form of
+    /// [`ShardedDispersedSampler::set_stall_timeout`].
+    #[must_use]
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Admission-control policy for sharded pushes (default
+    /// [`AdmissionControl::Block`]; sharded execution only). Facade form of
+    /// [`ShardedDispersedSampler::set_admission`].
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Validates the configuration and assembles the pipeline.
     ///
     /// # Errors
@@ -172,7 +227,12 @@ impl PipelineBuilder {
     ///   zero shards;
     /// * a flush threshold of zero is set, or a flush threshold is set
     ///   without an aggregation stage (it would be silently dead
-    ///   configuration).
+    ///   configuration);
+    /// * a zero stall timeout is set, or a stall timeout / non-default
+    ///   admission policy is set without sharded execution (equally dead
+    ///   configuration);
+    /// * a byte or key budget is set without an aggregation stage (only
+    ///   governed stages track usage; deadlines work on any pipeline).
     pub fn build(self) -> Result<Pipeline> {
         let assignments = self.assignments.ok_or_else(|| CwsError::InvalidParameter {
             name: "assignments",
@@ -196,6 +256,41 @@ impl PipelineBuilder {
                 name: "flush_threshold",
                 message: "a flush threshold is only meaningful with an aggregation stage \
                           (PipelineBuilder::aggregation(SumByKey | MaxByKey))"
+                    .to_string(),
+            });
+        }
+        if self.stall_timeout == Some(Duration::ZERO) {
+            return Err(CwsError::InvalidParameter {
+                name: "stall_timeout",
+                message: "the stall timeout must be positive".to_string(),
+            });
+        }
+        if self.stall_timeout.is_some() && !matches!(self.execution, Execution::Sharded(_)) {
+            return Err(CwsError::InvalidParameter {
+                name: "stall_timeout",
+                message: "a stall timeout is only meaningful with sharded execution \
+                          (PipelineBuilder::execution(Execution::Sharded(n)))"
+                    .to_string(),
+            });
+        }
+        if self.admission != AdmissionControl::Block
+            && !matches!(self.execution, Execution::Sharded(_))
+        {
+            return Err(CwsError::InvalidParameter {
+                name: "admission",
+                message: "admission control is only meaningful with sharded execution \
+                          (PipelineBuilder::execution(Execution::Sharded(n)))"
+                    .to_string(),
+            });
+        }
+        if (self.budget.max_bytes().is_some() || self.budget.max_keys().is_some())
+            && !self.aggregation.is_aggregating()
+        {
+            return Err(CwsError::InvalidParameter {
+                name: "budget",
+                message: "byte/key budgets govern the aggregation stage's tracked memory; \
+                          configure PipelineBuilder::aggregation(SumByKey | MaxByKey) \
+                          (deadlines work on any pipeline)"
                     .to_string(),
             });
         }
@@ -232,17 +327,25 @@ impl PipelineBuilder {
                         });
                     }
                     Execution::Sharded(shards) => {
-                        Backend::Sharded(ShardedDispersedSampler::new(config, assignments, shards))
+                        let mut sampler = ShardedDispersedSampler::new(config, assignments, shards);
+                        if let Some(timeout) = self.stall_timeout {
+                            sampler.set_stall_timeout(timeout);
+                        }
+                        sampler.set_admission(self.admission);
+                        Backend::Sharded(sampler)
                     }
                 }
             }
         };
         let aggregator = if self.aggregation.is_aggregating() {
-            Some(KeyAggregator::new(self.aggregation, assignments, self.seed))
+            let mut aggregator = KeyAggregator::new(self.aggregation, assignments, self.seed);
+            aggregator.set_budget(&self.budget);
+            Some(aggregator)
         } else {
             None
         };
-        Ok(Pipeline { backend, aggregator, flush_threshold: self.flush_threshold })
+        let deadline = self.deadline.or(self.budget.deadline()).map(Deadline::after);
+        Ok(Pipeline { backend, aggregator, flush_threshold: self.flush_threshold, deadline })
     }
 }
 
@@ -287,6 +390,7 @@ pub struct Pipeline {
     backend: Backend,
     aggregator: Option<KeyAggregator>,
     flush_threshold: Option<usize>,
+    deadline: Option<Deadline>,
 }
 
 impl Pipeline {
@@ -314,8 +418,18 @@ impl Pipeline {
     /// negative.
     #[inline]
     pub fn push_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        self.check_ingest_deadline()?;
         match &mut self.aggregator {
-            Some(aggregator) => aggregator.absorb_element(key, assignment, weight),
+            Some(aggregator) => match aggregator.absorb_element(key, assignment, weight) {
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    self.flush_early()?;
+                    self.aggregator
+                        .as_mut()
+                        .expect("flush_early keeps the aggregation stage")
+                        .absorb_element(key, assignment, weight)
+                }
+                other => other,
+            },
             None => Err(CwsError::InvalidParameter {
                 name: "aggregation",
                 message: "push_element requires an aggregation stage \
@@ -335,8 +449,18 @@ impl Pipeline {
     /// As [`Pipeline::push_element`]; the batch is validated before any of
     /// it is absorbed.
     pub fn push_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        self.check_ingest_deadline()?;
         match &mut self.aggregator {
-            Some(aggregator) => aggregator.absorb_elements(elements),
+            Some(aggregator) => match aggregator.absorb_elements(elements) {
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    self.flush_early()?;
+                    self.aggregator
+                        .as_mut()
+                        .expect("flush_early keeps the aggregation stage")
+                        .absorb_elements(elements)
+                }
+                other => other,
+            },
             None => Err(CwsError::InvalidParameter {
                 name: "aggregation",
                 message: "push_elements requires an aggregation stage \
@@ -446,8 +570,57 @@ impl Pipeline {
             backend,
             aggregator: self.aggregator.clone(),
             flush_threshold: self.flush_threshold,
+            deadline: self.deadline,
         };
         copy.finalize()
+    }
+
+    /// The aggregation stage's quarantine report: how many poison records
+    /// (NaN/∞/negative weight, out-of-range assignment) were diverted to
+    /// the dead-letter ring, and the error that condemned the first.
+    /// `None` when nothing was quarantined or no aggregation stage is
+    /// configured. Read before [`finalize`](Ingest::finalize); the
+    /// invariant is `quarantined + processed == offered`.
+    #[must_use]
+    pub fn quarantined(&self) -> Option<QuarantinedRecords> {
+        self.aggregator.as_ref().and_then(KeyAggregator::quarantined)
+    }
+
+    /// Drains the quarantine: the report plus the most recent diverted
+    /// records themselves (the ring keeps at most
+    /// [`KeyAggregator::DEAD_LETTER_CAPACITY`]), resetting the counters.
+    pub fn take_quarantined(&mut self) -> Option<crate::aggregation::QuarantineDrain> {
+        self.aggregator.as_mut().and_then(KeyAggregator::take_quarantined)
+    }
+
+    /// High-water mark of bytes tracked by the aggregation stage over the
+    /// pipeline's lifetime (0 without one) — real memory pressure, not the
+    /// post-flush level; `ingest_baseline` reports this per workload.
+    #[must_use]
+    pub fn peak_tracked_bytes(&self) -> u64 {
+        self.aggregator.as_ref().map_or(0, KeyAggregator::peak_tracked_bytes)
+    }
+
+    /// The armed ingest [`Deadline`] check (a no-op without one).
+    #[inline]
+    fn check_ingest_deadline(&self) -> Result<()> {
+        match &self.deadline {
+            Some(deadline) => deadline.check("ingest"),
+            None => Ok(()),
+        }
+    }
+
+    /// Spills the aggregation stage into the sampling back-end ("flush
+    /// early") — the governed response to a budget breach. The aggregate
+    /// hands off exactly as it would at finalize, the table recharges to
+    /// empty, and ingestion continues; lifetime counters (processed,
+    /// quarantined, peak bytes) survive.
+    fn flush_early(&mut self) -> Result<()> {
+        let Some(aggregator) = &mut self.aggregator else {
+            return Ok(());
+        };
+        let columns = aggregator.flush_columns();
+        self.push_drained(columns)
     }
 
     /// Drains the aggregation stage into the back-end: one zero-copy batch
@@ -457,6 +630,12 @@ impl Pipeline {
             return Ok(());
         };
         let columns = aggregator.into_columns();
+        self.push_drained(columns)
+    }
+
+    /// Hands a drained aggregate to the back-end: one zero-copy batch by
+    /// default, `flush_threshold`-sized copies otherwise.
+    fn push_drained(&mut self, columns: RecordColumns) -> Result<()> {
         match self.flush_threshold {
             Some(threshold) if threshold < columns.len() => {
                 let mut batch = RecordColumns::with_capacity(columns.num_assignments(), threshold);
@@ -496,8 +675,18 @@ impl Ingest for Pipeline {
     }
 
     fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        self.check_ingest_deadline()?;
         match &mut self.aggregator {
-            Some(aggregator) => aggregator.absorb_record(key, weights),
+            Some(aggregator) => match aggregator.absorb_record(key, weights) {
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    self.flush_early()?;
+                    self.aggregator
+                        .as_mut()
+                        .expect("flush_early keeps the aggregation stage")
+                        .absorb_record(key, weights)
+                }
+                other => other,
+            },
             None => {
                 for_backend!(&mut self.backend, sampler => Ingest::push_record(sampler, key, weights))
             }
@@ -505,8 +694,18 @@ impl Ingest for Pipeline {
     }
 
     fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        self.check_ingest_deadline()?;
         match &mut self.aggregator {
-            Some(aggregator) => aggregator.absorb_columns(columns),
+            Some(aggregator) => match aggregator.absorb_columns(columns) {
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    self.flush_early()?;
+                    self.aggregator
+                        .as_mut()
+                        .expect("flush_early keeps the aggregation stage")
+                        .absorb_columns(columns)
+                }
+                other => other,
+            },
             None => {
                 for_backend!(&mut self.backend, sampler => Ingest::push_columns(sampler, columns))
             }
@@ -514,8 +713,18 @@ impl Ingest for Pipeline {
     }
 
     fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        self.check_ingest_deadline()?;
         match &mut self.aggregator {
-            Some(aggregator) => aggregator.absorb_columns(columns),
+            Some(aggregator) => match aggregator.absorb_columns(columns) {
+                Err(CwsError::BudgetExceeded { .. }) => {
+                    self.flush_early()?;
+                    self.aggregator
+                        .as_mut()
+                        .expect("flush_early keeps the aggregation stage")
+                        .absorb_columns(columns)
+                }
+                other => other,
+            },
             None => for_backend!(&mut self.backend, sampler => {
                 Ingest::push_columns_shared(sampler, columns)
             }),
@@ -573,6 +782,97 @@ mod tests {
             base().flush_threshold(1000).build(),
             Err(CwsError::InvalidParameter { name: "flush_threshold", .. })
         ));
+        // Same policy for the governance knobs: zero or dead configuration
+        // is a typed build error, not silent acceptance.
+        assert!(matches!(
+            base()
+                .layout(Layout::Dispersed)
+                .execution(Execution::Sharded(2))
+                .stall_timeout(Duration::ZERO)
+                .build(),
+            Err(CwsError::InvalidParameter { name: "stall_timeout", .. })
+        ));
+        assert!(matches!(
+            base().stall_timeout(Duration::from_secs(1)).build(),
+            Err(CwsError::InvalidParameter { name: "stall_timeout", .. })
+        ));
+        assert!(matches!(
+            base().admission(AdmissionControl::FailFast { wait: Duration::from_millis(1) }).build(),
+            Err(CwsError::InvalidParameter { name: "admission", .. })
+        ));
+        assert!(matches!(
+            base().budget(ResourceBudget::unlimited().with_max_keys(10)).build(),
+            Err(CwsError::InvalidParameter { name: "budget", .. })
+        ));
+        // Sharded pipelines accept all of them together.
+        base()
+            .layout(Layout::Dispersed)
+            .execution(Execution::Sharded(2))
+            .aggregation(Aggregation::SumByKey)
+            .budget(ResourceBudget::unlimited().with_max_keys(10))
+            .stall_timeout(Duration::from_secs(1))
+            .admission(AdmissionControl::FailFast { wait: Duration::from_millis(1) })
+            .build()
+            .unwrap();
+        // A deadline needs no aggregation stage.
+        base().deadline(Duration::from_secs(3600)).build().unwrap();
+    }
+
+    #[test]
+    fn governed_pipeline_flushes_early_and_matches_the_uncapped_run() {
+        use crate::ingest::Ingest;
+        let build = |budget: ResourceBudget| {
+            base().aggregation(Aggregation::SumByKey).seed(11).budget(budget).build().unwrap()
+        };
+        // Each key arrives exactly once, so no flush can split a key's
+        // fragments and the capped run must match the uncapped bit-exactly.
+        let mut capped = build(ResourceBudget::unlimited().with_max_keys(16));
+        let mut uncapped = build(ResourceBudget::unlimited());
+        for key in 0..500u64 {
+            let weight = ((key % 13) + 1) as f64;
+            capped.push_element(key, (key % 2) as usize, weight).unwrap();
+            uncapped.push_element(key, (key % 2) as usize, weight).unwrap();
+        }
+        assert!(capped.peak_tracked_bytes() > 0);
+        assert!(capped.peak_tracked_bytes() < uncapped.peak_tracked_bytes());
+        assert_eq!(capped.finalize().unwrap(), uncapped.finalize().unwrap());
+    }
+
+    #[test]
+    fn expired_deadline_rejects_pushes_but_never_loses_ingested_work() {
+        use crate::ingest::Ingest;
+        let mut pipeline = base()
+            .aggregation(Aggregation::SumByKey)
+            .deadline(Duration::from_secs(3600))
+            .build()
+            .unwrap();
+        pipeline.push_element(1, 0, 2.0).unwrap();
+
+        let mut expired =
+            base().aggregation(Aggregation::SumByKey).deadline(Duration::ZERO).build().unwrap();
+        let err = expired.push_element(1, 0, 2.0).unwrap_err();
+        assert!(matches!(err, CwsError::DeadlineExceeded { op: "ingest", .. }));
+        let err = expired.push_record(1, &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, CwsError::DeadlineExceeded { op: "ingest", .. }));
+        // Finalize stays available: a timeout never destroys ingested work.
+        let summary = expired.finalize().unwrap();
+        assert_eq!(summary.num_assignments(), 2);
+    }
+
+    #[test]
+    fn quarantine_surfaces_through_the_facade() {
+        let mut pipeline = base().aggregation(Aggregation::SumByKey).build().unwrap();
+        assert!(pipeline.quarantined().is_none());
+        pipeline.push_elements(&[(1, 0, 1.0), (2, 0, f64::NAN), (3, 1, 2.0)]).unwrap();
+        use crate::ingest::Ingest;
+        assert_eq!(pipeline.processed(), 2);
+        let report = pipeline.quarantined().expect("the NaN element must be quarantined");
+        assert_eq!(report.count, 1);
+        let (report, letters) = pipeline.take_quarantined().unwrap();
+        assert_eq!(report.count, 1);
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].0, 2);
+        assert!(pipeline.quarantined().is_none(), "take_quarantined drains the ring");
     }
 
     #[test]

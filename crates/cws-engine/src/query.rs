@@ -10,8 +10,10 @@
 //! on the summary layout and returns a typed [`Estimate`].
 
 use std::fmt;
+use std::time::Duration;
 
 use cws_core::aggregates::AggregateFn;
+use cws_core::budget::Deadline;
 use cws_core::estimate::adjusted::AdjustedWeights;
 use cws_core::{DispersedEstimator, InclusiveEstimator, Key, Result, SelectionKind};
 
@@ -59,6 +61,7 @@ pub struct Query {
     aggregate: AggregateFn,
     selection: SelectionKind,
     filter: Option<Box<dyn Fn(Key) -> bool>>,
+    deadline: Option<Duration>,
 }
 
 impl fmt::Debug for Query {
@@ -67,13 +70,18 @@ impl fmt::Debug for Query {
             .field("aggregate", &self.aggregate)
             .field("selection", &self.selection)
             .field("filter", &self.filter.as_ref().map(|_| "<predicate>"))
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
 
 impl Query {
+    /// How many filtered keys are folded between wall-clock deadline
+    /// checks during [`Query::evaluate`].
+    const DEADLINE_CHECK_STRIDE: usize = 1024;
+
     fn new(aggregate: AggregateFn) -> Self {
-        Self { aggregate, selection: SelectionKind::LSet, filter: None }
+        Self { aggregate, selection: SelectionKind::LSet, filter: None, deadline: None }
     }
 
     /// The single-assignment sum `Σ w^(b)(i)`.
@@ -126,6 +134,20 @@ impl Query {
         self
     }
 
+    /// Bounds how long one [`Query::evaluate`] call may run. The deadline
+    /// is armed afresh at each evaluation and checked at chunk boundaries
+    /// (before estimation, after adjusted weights, and every 1024 folded
+    /// keys), so a slow
+    /// multi-query pass returns a typed
+    /// [`CwsError`](cws_core::CwsError)`::DeadlineExceeded` — never a hung
+    /// caller — and leaves the summary untouched: the same query (or any
+    /// other) can be evaluated again immediately.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// The aggregate this query estimates.
     #[must_use]
     pub fn aggregate(&self) -> &AggregateFn {
@@ -166,14 +188,34 @@ impl Query {
     /// Evaluates the query: adjusted weights, then the filtered total.
     ///
     /// # Errors
-    /// As [`Query::adjusted_weights`].
+    /// As [`Query::adjusted_weights`]; additionally
+    /// [`CwsError`](cws_core::CwsError)`::DeadlineExceeded` once an armed
+    /// [deadline](Query::with_deadline) expires (checked at chunk
+    /// boundaries; the summary is untouched and stays queryable).
     pub fn evaluate(&self, summary: &Summary) -> Result<Estimate> {
+        let deadline = self.deadline.map(Deadline::after);
+        let check = |deadline: &Option<Deadline>| match deadline {
+            Some(armed) => armed.check("query"),
+            None => Ok(()),
+        };
+        check(&deadline)?;
         let adjusted = self.adjusted_weights(summary)?;
+        check(&deadline)?;
         let (value, observed_keys) = match &self.filter {
-            Some(predicate) => adjusted
-                .iter()
-                .filter(|&(key, _)| predicate(key))
-                .fold((0.0, 0), |(total, count), (_, weight)| (total + weight, count + 1)),
+            Some(predicate) => {
+                let mut total = 0.0;
+                let mut count = 0usize;
+                for (index, (key, weight)) in adjusted.iter().enumerate() {
+                    if index % Self::DEADLINE_CHECK_STRIDE == 0 {
+                        check(&deadline)?;
+                    }
+                    if predicate(key) {
+                        total += weight;
+                        count += 1;
+                    }
+                }
+                (total, count)
+            }
             None => (adjusted.total(), adjusted.len()),
         };
         Ok(Estimate { value, observed_keys })
@@ -279,6 +321,29 @@ mod tests {
             Err(CwsError::UnsupportedEstimator { .. })
         ));
         assert!(independent.query(&Query::min([0, 1])).is_ok());
+    }
+
+    /// An expired deadline is a typed error that poisons nothing: the same
+    /// summary answers the same query (and others) immediately afterwards.
+    #[test]
+    fn expired_query_deadline_is_typed_and_poisons_nothing() {
+        use std::time::Duration;
+        let (colocated, dispersed) = summaries(30, 5);
+        for summary in [&colocated, &dispersed] {
+            let expired = Query::single(0).with_deadline(Duration::ZERO);
+            let err = summary.query(&expired).unwrap_err();
+            assert!(matches!(err, CwsError::DeadlineExceeded { op: "query", budget_ms: 0 }));
+            // A filtered query hits the chunk-boundary checks too.
+            let filtered =
+                Query::single(0).filter(|key| key % 2 == 0).with_deadline(Duration::ZERO);
+            assert!(summary.query(&filtered).is_err());
+            // Nothing is poisoned: a generous deadline and no deadline both
+            // produce the identical estimate afterwards.
+            let generous =
+                summary.query(&Query::single(0).with_deadline(Duration::from_secs(3600))).unwrap();
+            let plain = summary.query(&Query::single(0)).unwrap();
+            assert_eq!(generous, plain);
+        }
     }
 
     #[test]

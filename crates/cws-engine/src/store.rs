@@ -38,6 +38,17 @@
 //! The `MANIFEST` file is an advisory index for operators (`cat MANIFEST`
 //! tells you what the store holds) — recovery never trusts it; the scan and
 //! the checksums are the source of truth.
+//!
+//! # At-rest scrubbing
+//!
+//! Recovery runs at startup; rot can set in *afterwards*, while the store
+//! sits on disk between crashes. [`Scrubber`] is the at-rest complement: a
+//! caller-driven [`scrub`](Scrubber::scrub) pass that re-verifies the
+//! checksums of every retained epoch, quarantines files that no longer
+//! decode, bounds `.quarantined` accumulation with its own retention, and
+//! repairs a missing or stale `MANIFEST`. Scrubbing touches only the
+//! directory — continuous pipelines serve `Arc<Summary>` snapshots from
+//! memory, so serving continues undisturbed while a scrub runs.
 
 use std::fs;
 use std::io::Write as _;
@@ -67,6 +78,13 @@ fn store_error(op: &'static str, path: &Path, error: &std::io::Error) -> CwsErro
     CwsError::Store { op, path: path.display().to_string(), message: error.to_string() }
 }
 
+/// `<path>.quarantined` — where a condemned snapshot is moved aside.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut quarantined = path.as_os_str().to_os_string();
+    quarantined.push(QUARANTINE_SUFFIX);
+    PathBuf::from(quarantined)
+}
+
 /// A quarantined file found during [`SnapshotStore::recover`].
 #[derive(Debug, Clone)]
 pub struct QuarantinedSnapshot {
@@ -89,6 +107,9 @@ pub struct RecoveryReport {
     pub quarantined: Vec<QuarantinedSnapshot>,
     /// Number of abandoned `…​.tmp` files (crashes mid-publish) removed.
     pub removed_temps: usize,
+    /// Number of old `…​.quarantined` files removed to keep forensics
+    /// bounded (the store's epoch retention applies to them too).
+    pub pruned_quarantined: usize,
 }
 
 /// A directory of epoch snapshots with atomic publish, bounded retention
@@ -226,7 +247,9 @@ impl SnapshotStore {
     /// Recovery is idempotent: running it twice changes nothing the first
     /// run did not already fix, and it never deletes a committed snapshot —
     /// corrupt files are renamed, not removed, so an operator can inspect
-    /// them.
+    /// them. Quarantined forensics are themselves bounded: only the newest
+    /// `retention` `.quarantined` files survive a recovery, so a store that
+    /// keeps hitting corruption cannot fill the disk with evidence.
     ///
     /// # Errors
     /// [`CwsError::Store`] when the directory cannot be scanned or a
@@ -249,9 +272,7 @@ impl SnapshotStore {
             {
                 Ok(_) => good.push((epoch, path)),
                 Err(error) => {
-                    let mut quarantined = path.clone().into_os_string();
-                    quarantined.push(QUARANTINE_SUFFIX);
-                    let quarantined = PathBuf::from(quarantined);
+                    let quarantined = quarantine_path(&path);
                     fs::rename(&path, &quarantined)
                         .map_err(|e| store_error("quarantine", &path, &e))?;
                     report.quarantined.push(QuarantinedSnapshot {
@@ -262,6 +283,7 @@ impl SnapshotStore {
                 }
             }
         }
+        report.pruned_quarantined = self.prune_quarantined_to(self.retention)?;
         good.sort_unstable_by_key(|(epoch, _)| *epoch);
         if let Some((epoch, path)) = good.last() {
             // Re-read the winner (files are small relative to the cost of
@@ -306,14 +328,63 @@ impl SnapshotStore {
         Ok(())
     }
 
-    /// Rewrites the advisory `MANIFEST` atomically (temp + rename).
-    fn write_manifest(&self) -> Result<()> {
+    /// Quarantined snapshots on disk, ascending by epoch.
+    fn quarantined_files(&self) -> Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        for name in self.scan()? {
+            if let Some(stem) = name.strip_suffix(QUARANTINE_SUFFIX) {
+                if let Some(epoch) = Self::parse_epoch(stem) {
+                    found.push((epoch, self.dir.join(&name)));
+                }
+            }
+        }
+        found.sort_unstable_by_key(|(epoch, _)| *epoch);
+        Ok(found)
+    }
+
+    /// Removes `.quarantined` files beyond `retention` (oldest first),
+    /// returning how many were removed — the forensics counterpart of
+    /// [`prune`](Self::prune).
+    fn prune_quarantined_to(&self, retention: usize) -> Result<usize> {
+        let files = self.quarantined_files()?;
+        if files.len() <= retention {
+            return Ok(0);
+        }
+        let excess = files.len() - retention;
+        for (_, path) in &files[..excess] {
+            fs::remove_file(path).map_err(|e| store_error("remove", path, &e))?;
+        }
+        self.sync_dir()?;
+        Ok(excess)
+    }
+
+    /// The manifest text the store's current contents call for.
+    fn manifest_text(&self) -> Result<String> {
         let epochs = self.epochs()?;
         let mut text = String::from("# cws snapshot store manifest (advisory; recovery rescans)\n");
         text.push_str(&format!("retention {}\n", self.retention));
         for epoch in &epochs {
             text.push_str(&format!("epoch {epoch} {}\n", Self::epoch_file_name(*epoch)));
         }
+        Ok(text)
+    }
+
+    /// Rewrites the `MANIFEST` if it is missing or stale; returns whether a
+    /// repair happened. Advisory only — nothing reads the manifest for
+    /// correctness — but a stale one misleads operators.
+    fn repair_manifest(&self) -> Result<bool> {
+        let expected = self.manifest_text()?;
+        let current = fs::read_to_string(self.dir.join(MANIFEST_NAME)).ok();
+        if current.as_deref() == Some(expected.as_str()) {
+            return Ok(false);
+        }
+        self.write_manifest()?;
+        Ok(true)
+    }
+
+    /// Rewrites the advisory `MANIFEST` atomically (temp + rename).
+    fn write_manifest(&self) -> Result<()> {
+        let text = self.manifest_text()?;
         let final_path = self.dir.join(MANIFEST_NAME);
         let temp_path = self.dir.join(format!("{MANIFEST_NAME}{TEMP_SUFFIX}"));
         let mut file =
@@ -336,6 +407,115 @@ impl SnapshotStore {
             dir.sync_all().map_err(|e| store_error("fsync_dir", &self.dir, &e))?;
         }
         Ok(())
+    }
+}
+
+/// What one [`Scrubber::scrub`] pass found and did.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Epochs whose snapshots re-verified cleanly (header and body
+    /// checksums), ascending.
+    pub verified: Vec<u64>,
+    /// Epochs whose snapshots rotted since they were published — renamed
+    /// to `…​.quarantined`, with the typed decode error that condemned
+    /// each.
+    pub quarantined: Vec<QuarantinedSnapshot>,
+    /// Number of old `…​.quarantined` files removed to respect the
+    /// scrubber's quarantine retention.
+    pub pruned_quarantined: usize,
+    /// `true` when the advisory `MANIFEST` was missing or stale and was
+    /// rewritten.
+    pub manifest_repaired: bool,
+}
+
+/// A caller-driven at-rest integrity pass over a [`SnapshotStore`] — the
+/// complement of crash-time [`SnapshotStore::recover`].
+///
+/// Recovery runs when a process starts; a [`Scrubber`] runs *while it
+/// serves*, on whatever cadence the operator chooses (a timer, a cron
+/// job, an admin endpoint). One [`scrub`](Scrubber::scrub) pass:
+///
+/// 1. re-reads every retained epoch and verifies its checksums, catching
+///    rot that set in after publish;
+/// 2. quarantines (renames, never deletes) snapshots that no longer
+///    decode, carrying the typed decode error in the report;
+/// 3. bounds `.quarantined` forensics with its own retention (default:
+///    the store's epoch retention);
+/// 4. repairs the advisory `MANIFEST` if it is missing or stale.
+///
+/// Scrubbing only touches the directory. Serving reads `Arc<Summary>`
+/// snapshots from memory (e.g.
+/// [`EpochedPipeline::latest`](crate::continuous::EpochedPipeline::latest)),
+/// so queries keep answering bit-exactly while a scrub runs — even one
+/// that quarantines the latest epoch's file.
+///
+/// ```no_run
+/// use cws_engine::store::{Scrubber, SnapshotStore};
+///
+/// let mut store = SnapshotStore::open("/var/lib/cws/snapshots", 24).unwrap();
+/// let report = Scrubber::new().scrub(&mut store).unwrap();
+/// for rotten in &report.quarantined {
+///     eprintln!("epoch {} rotted at rest: {}", rotten.epoch, rotten.error);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scrubber {
+    quarantine_retention: Option<usize>,
+}
+
+impl Scrubber {
+    /// A scrubber whose quarantine retention follows the store's epoch
+    /// retention.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds how many `.quarantined` files survive a scrub (newest kept,
+    /// oldest removed; `0` keeps no forensics at all). Default: the
+    /// scrubbed store's own epoch retention.
+    #[must_use]
+    pub fn with_quarantine_retention(mut self, retention: usize) -> Self {
+        self.quarantine_retention = Some(retention);
+        self
+    }
+
+    /// Runs one integrity pass over `store` (see the type docs for the
+    /// four steps).
+    ///
+    /// Like recovery, a scrub is idempotent: a second pass over an
+    /// undisturbed store verifies the same epochs and changes nothing.
+    ///
+    /// # Errors
+    /// [`CwsError::Store`] when the directory cannot be scanned or a
+    /// rename/remove fails. Decode failures are *not* errors — they are
+    /// the findings, reported in [`ScrubReport::quarantined`].
+    pub fn scrub(&self, store: &mut SnapshotStore) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        for epoch in store.epochs()? {
+            let path = store.epoch_path(epoch);
+            match fs::File::open(&path)
+                .map_err(|e| store_error("open", &path, &e))
+                .and_then(|mut file| Summary::read_from(&mut file))
+            {
+                Ok(_) => report.verified.push(epoch),
+                Err(error) => {
+                    let quarantined = quarantine_path(&path);
+                    fs::rename(&path, &quarantined)
+                        .map_err(|e| store_error("quarantine", &path, &e))?;
+                    report.quarantined.push(QuarantinedSnapshot {
+                        path: quarantined,
+                        epoch,
+                        error,
+                    });
+                }
+            }
+        }
+        let retention = self.quarantine_retention.unwrap_or(store.retention());
+        report.pruned_quarantined = store.prune_quarantined_to(retention)?;
+        report.manifest_repaired = store.repair_manifest()?;
+        store.sync_dir()?;
+        Ok(report)
     }
 }
 
@@ -451,6 +631,83 @@ mod tests {
         assert_eq!(again.removed_temps, 0);
         assert!(again.quarantined.is_empty());
         assert_eq!(again.last_good.unwrap().0, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A scrub over a clean store verifies every epoch and changes
+    /// nothing; over a rotted store it quarantines exactly the flipped
+    /// epochs and repairs the manifest.
+    #[test]
+    fn scrub_verifies_clean_epochs_and_quarantines_rot() {
+        let dir = scratch_dir("scrub");
+        let mut store = SnapshotStore::open(&dir, 8).unwrap();
+        for epoch in 1..=4u64 {
+            store.publish(epoch, &sample_summary(7, 80 + epoch)).unwrap();
+        }
+        let clean = Scrubber::new().scrub(&mut store).unwrap();
+        assert_eq!(clean.verified, vec![1, 2, 3, 4]);
+        assert!(clean.quarantined.is_empty());
+        assert_eq!(clean.pruned_quarantined, 0);
+        assert!(!clean.manifest_repaired, "a fresh manifest needs no repair");
+
+        // Rot sets in at rest: flip one byte in epochs 2 and 4.
+        for epoch in [2u64, 4] {
+            let path = store.epoch_path(epoch);
+            let mut bytes = fs::read(&path).unwrap();
+            let middle = bytes.len() / 2;
+            bytes[middle] ^= 0x01;
+            fs::write(&path, &bytes).unwrap();
+        }
+        // And the manifest goes missing.
+        fs::remove_file(dir.join("MANIFEST")).unwrap();
+
+        let report = Scrubber::new().scrub(&mut store).unwrap();
+        assert_eq!(report.verified, vec![1, 3]);
+        assert_eq!(
+            report.quarantined.iter().map(|q| q.epoch).collect::<Vec<_>>(),
+            vec![2, 4],
+            "exactly the flipped epochs are condemned"
+        );
+        for rotten in &report.quarantined {
+            assert!(rotten.path.exists(), "forensics are renamed, not deleted");
+        }
+        assert!(report.manifest_repaired);
+        let manifest = fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        assert!(manifest.contains("epoch 1 "), "{manifest}");
+        assert!(!manifest.contains("epoch 2 "), "{manifest}");
+        // Idempotent: a second pass finds the store already settled.
+        let again = Scrubber::new().scrub(&mut store).unwrap();
+        assert_eq!(again.verified, vec![1, 3]);
+        assert!(again.quarantined.is_empty());
+        assert!(!again.manifest_repaired);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: `.quarantined` files no longer accumulate forever — both
+    /// recovery and the scrubber prune them oldest-first to the retention
+    /// bound.
+    #[test]
+    fn quarantine_accumulation_is_bounded_by_retention() {
+        let dir = scratch_dir("qretention");
+        let mut store = SnapshotStore::open(&dir, 2).unwrap();
+        // Manufacture a long history of quarantined forensics.
+        for epoch in 1..=7u64 {
+            let name = format!("epoch-{epoch:020}.cws.quarantined");
+            fs::write(dir.join(name), b"old forensics").unwrap();
+        }
+        store.publish(8, &sample_summary(4, 90)).unwrap();
+        let report = store.recover().unwrap();
+        assert_eq!(report.pruned_quarantined, 5, "recovery prunes to the epoch retention");
+        let survivors = store.quarantined_files().unwrap();
+        assert_eq!(
+            survivors.iter().map(|(epoch, _)| *epoch).collect::<Vec<_>>(),
+            vec![6, 7],
+            "the newest forensics survive"
+        );
+        // A scrubber with its own (tighter) retention prunes further.
+        let report = Scrubber::new().with_quarantine_retention(0).scrub(&mut store).unwrap();
+        assert_eq!(report.pruned_quarantined, 2);
+        assert!(store.quarantined_files().unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

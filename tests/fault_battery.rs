@@ -10,9 +10,12 @@
 //! * a stalled shard surfaces a typed timeout, never a hang;
 //! * the codec round-trips bit-exactly through hostile I/O (1-byte-at-a-
 //!   time, `ErrorKind::Interrupted` noise);
+//! * `.quarantined` forensics files stay bounded by the store's retention
+//!   under sustained rot;
 //! * a multi-seed stress run (`CWS_FAULT_SEEDS=1,2,3 …`) injects
 //!   plan-scheduled faults and proves respawn + re-ingest always converges
-//!   to the undisturbed summary.
+//!   to the undisturbed summary — then rots one plan-chosen byte at rest
+//!   and proves the scrubber catches it.
 
 use std::io::ErrorKind;
 use std::path::PathBuf;
@@ -25,7 +28,7 @@ use coordinated_sampling::core::fault::{
 };
 use coordinated_sampling::prelude::*;
 use coordinated_sampling::stream::sharded::ShardedDispersedSampler;
-use cws_engine::store::SnapshotStore;
+use cws_engine::store::{Scrubber, SnapshotStore};
 
 /// A fresh scratch directory under the OS temp dir (no tempfile crate in
 /// the offline build).
@@ -253,6 +256,56 @@ fn codec_roundtrips_through_interrupted_io() {
     }
 }
 
+/// Satellite: `.quarantined` forensics files must not accumulate without
+/// bound — recovery and scrubbing both prune them to the store's epoch
+/// retention (or the scrubber's own override).
+#[test]
+fn quarantined_file_accumulation_is_bounded() {
+    let dir = scratch_dir("qbound");
+    let retention = 3usize;
+    let mut store = SnapshotStore::open(&dir, retention).unwrap();
+    let good = small_summary(0..100);
+    store.publish(1, &good).unwrap();
+
+    // Years of rot: many epochs corrupted on disk, quarantined one by one.
+    let scrubber = Scrubber::new();
+    for epoch in 2..=12u64 {
+        store.publish(epoch, &good).unwrap();
+        let path = store.epoch_path(epoch);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = scrubber.scrub(&mut store).unwrap();
+        assert_eq!(report.quarantined.len(), 1, "epoch {epoch}");
+        let forensics = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|entry| {
+                entry.as_ref().unwrap().file_name().to_string_lossy().ends_with(".quarantined")
+            })
+            .count();
+        assert!(
+            forensics <= retention,
+            "epoch {epoch}: {forensics} forensics files exceed retention {retention}"
+        );
+    }
+
+    // Recovery applies the same bound, and a zero-retention scrub empties
+    // the forensics shelf entirely.
+    let report = store.recover().unwrap();
+    assert!(report.last_good.is_some());
+    let report = Scrubber::new().with_quarantine_retention(0).scrub(&mut store).unwrap();
+    assert!(report.pruned_quarantined > 0);
+    let leftover = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|entry| {
+            entry.as_ref().unwrap().file_name().to_string_lossy().ends_with(".quarantined")
+        })
+        .count();
+    assert_eq!(leftover, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Multi-seed stress: each seed derives a full fault schedule (which shard,
 /// which fault, when) from a [`FaultPlan`]; whatever interleaving results,
 /// respawn + re-ingest must converge to the undisturbed summary bit-exactly.
@@ -319,5 +372,31 @@ fn multi_seed_fault_stress_converges_after_respawn() {
             .finalize()
             .unwrap_or_else(|error| panic!("seed {seed}: post-respawn finalize failed: {error:?}"));
         assert_eq!(recovered, expected, "seed {seed}: recovery must be bit-exact");
+
+        // Scrub phase: persist the recovered epoch, rot one plan-chosen
+        // byte at rest, and prove the scrubber catches it while recovery
+        // still restores the previous good epoch bit-exactly.
+        let dir = scratch_dir(&format!("stress-scrub-{seed}"));
+        let mut store = SnapshotStore::open(&dir, 4).unwrap();
+        let good = Summary::Dispersed(expected.clone());
+        store.publish(1, &good).unwrap();
+        store.publish(2, &Summary::Dispersed(recovered)).unwrap();
+        let rotten_path = store.epoch_path(2);
+        let mut bytes = std::fs::read(&rotten_path).unwrap();
+        let offset = plan.next_below(bytes.len() as u64) as usize;
+        bytes[offset] ^= 1 + plan.next_below(255) as u8;
+        std::fs::write(&rotten_path, &bytes).unwrap();
+        let report = Scrubber::new().scrub(&mut store).unwrap();
+        assert_eq!(
+            report.quarantined.len(),
+            1,
+            "seed {seed}: the scrubber must catch the flip at offset {offset}"
+        );
+        assert_eq!(report.quarantined[0].epoch, 2);
+        assert_eq!(report.verified, vec![1], "seed {seed}");
+        let (epoch, from_disk) = store.recover().unwrap().last_good.expect("epoch 1 survives");
+        assert_eq!(epoch, 1, "seed {seed}");
+        assert_eq!(from_disk.to_bytes(), good.to_bytes(), "seed {seed}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
