@@ -1,4 +1,5 @@
-//! Regenerates the ingestion-performance baseline (`BENCH_pr8.json`).
+//! Regenerates the ingestion- and query-performance baseline
+//! (`BENCH_pr9.json`).
 //!
 //! Measures the layers of the ingestion hot path — single-assignment push
 //! throughput (scalar and batched), per-assignment hashing vs the hash-once
@@ -8,6 +9,13 @@
 //! and under a byte-tracking budget, which also records the stage's peak
 //! tracked bytes) — on the synthetic Zipf workload, and emits a JSON
 //! snapshot so later PRs have a perf trajectory to compare against.
+//!
+//! Since schema v6 the baseline also measures the query-serving path: a
+//! fleet of 64 subpopulation sums over disjoint key lanes, evaluated
+//! naively (one summary pass per query) and through the batched planner
+//! (one shared pass), on both summary layouts. The two routes are
+//! bit-identical per query — `tests/planner_parity.rs` pins that — so the
+//! recorded `shared_pass_speedup` is a pure cost comparison.
 //!
 //! Usage:
 //!
@@ -98,6 +106,9 @@ struct Baseline {
     /// The aggregation stage's memory high-water mark under the
     /// byte-tracking budget, in bytes.
     peak_tracked_bytes: u64,
+    /// Per layout ("colocated" / "dispersed"): naive and batched
+    /// queries per second for the 64-query lane-sum fleet.
+    fleet_queries_per_sec: Vec<(&'static str, f64, f64)>,
 }
 
 fn run_baseline(quick: bool) -> Baseline {
@@ -163,6 +174,23 @@ fn run_baseline(quick: bool) -> Baseline {
          elements/s, peak tracked bytes {peak_tracked_bytes}"
     );
 
+    let queries = workloads::fleet_queries();
+    let batch = workloads::fleet_batch();
+    let (colocated, dispersed) = workloads::query_summaries(&data, &config);
+    let mut fleet_queries_per_sec = Vec::new();
+    for (layout, summary) in [("colocated", &colocated), ("dispersed", &dispersed)] {
+        let naive_rate =
+            measure(workloads::FLEET_QUERIES, reps, || workloads::naive_fleet(summary, &queries));
+        let batched_rate =
+            measure(workloads::FLEET_QUERIES, reps, || workloads::batched_fleet(summary, &batch));
+        eprintln!(
+            "[ingest_baseline] query fleet ({layout}): {naive_rate:.3e} queries/s naive, \
+             {batched_rate:.3e} queries/s batched ({:.1}x)",
+            batched_rate / naive_rate
+        );
+        fleet_queries_per_sec.push((layout, naive_rate, batched_rate));
+    }
+
     let cpu_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     if cpu_parallelism == 1 {
         eprintln!(
@@ -197,6 +225,7 @@ fn run_baseline(quick: bool) -> Baseline {
         sum_by_key_elements_per_sec,
         sum_by_key_governed_elements_per_sec,
         peak_tracked_bytes,
+        fleet_queries_per_sec,
     }
 }
 
@@ -212,7 +241,7 @@ fn to_json(b: &Baseline) -> String {
     // `--check` schema guard) and flagged.
     let scaling_claims_valid = b.cpu_parallelism > 1;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"cws-ingestion-baseline/v5\",\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v6\",\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
     );
@@ -266,6 +295,19 @@ fn to_json(b: &Baseline) -> String {
         b.sum_by_key_elements_per_sec / b.sum_by_key_governed_elements_per_sec
     ));
     out.push_str(&format!("    \"peak_tracked_bytes\": {}\n", b.peak_tracked_bytes));
+    out.push_str("  },\n");
+    out.push_str("  \"batched_query\": {\n");
+    out.push_str(&format!("    \"num_queries\": {},\n", cws_bench::workloads::FLEET_QUERIES));
+    out.push_str("    \"workload\": \"sum over assignment 0, one disjoint key lane per query\",\n");
+    for (i, &(layout, naive_rate, batched_rate)) in b.fleet_queries_per_sec.iter().enumerate() {
+        let comma = if i + 1 < b.fleet_queries_per_sec.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{layout}\": {{ \"naive_queries_per_sec\": {naive_rate:.1}, \
+             \"batched_queries_per_sec\": {batched_rate:.1}, \
+             \"shared_pass_speedup\": {:.2} }}{comma}\n",
+            batched_rate / naive_rate
+        ));
+    }
     out.push_str("  },\n");
     out.push_str("  \"sharded\": [\n");
     for (i, &(shards, record_rate, column_rate)) in b.sharded_records_per_sec.iter().enumerate() {

@@ -67,7 +67,9 @@ pub mod workloads {
     use cws_core::summary::SummaryConfig;
     use cws_core::weights::MultiWeighted;
     use cws_data::synthetic::Element;
-    use cws_engine::{Aggregation, Ingest, Layout, Pipeline};
+    use cws_engine::{
+        Aggregation, Ingest, Layout, Pipeline, Query, QueryBatch, QuerySpec, Summary,
+    };
     use cws_stream::{
         BottomKStreamSampler, DispersedStreamSampler, MultiAssignmentStreamSampler,
         ShardedDispersedSampler,
@@ -197,6 +199,58 @@ pub mod workloads {
         (pipeline.finalize().expect("sequential ingestion cannot fail").num_distinct_keys(), peak)
     }
 
+    /// Queries per fleet batch in the batched-query workload: one
+    /// subpopulation sum per lane, every lane sharing the same assignment
+    /// (and therefore one summary pass under the planner).
+    pub const FLEET_QUERIES: usize = 64;
+
+    /// Builds both summary layouts over `data` so the query workloads can
+    /// measure colocated and dispersed serving from identical evidence.
+    #[must_use]
+    pub fn query_summaries(data: &MultiWeighted, config: &SummaryConfig) -> (Summary, Summary) {
+        use cws_core::summary::{ColocatedSummary, DispersedSummary};
+        (
+            Summary::Colocated(ColocatedSummary::build(data, config)),
+            Summary::Dispersed(DispersedSummary::build(data, config)),
+        )
+    }
+
+    /// The naive serving plan: [`FLEET_QUERIES`] standalone [`Query`]s,
+    /// each a sum over assignment 0 restricted to its own key lane
+    /// (`key % FLEET_QUERIES == lane`). Built once outside the timed
+    /// region so the measurement is pure evaluation.
+    #[must_use]
+    pub fn fleet_queries() -> Vec<Query> {
+        (0..FLEET_QUERIES)
+            .map(|lane| Query::single(0).filter(move |key| key as usize % FLEET_QUERIES == lane))
+            .collect()
+    }
+
+    /// The planned twin of [`fleet_queries`]: the same [`FLEET_QUERIES`]
+    /// lane sums as one [`QueryBatch`], which the planner collapses into a
+    /// single shared summary pass.
+    #[must_use]
+    pub fn fleet_batch() -> QueryBatch {
+        (0..FLEET_QUERIES)
+            .map(|lane| QuerySpec::sum(0).filter(move |key| key as usize % FLEET_QUERIES == lane))
+            .collect()
+    }
+
+    /// Evaluates the fleet naively: one summary pass per query.
+    pub fn naive_fleet(summary: &Summary, queries: &[Query]) -> usize {
+        queries
+            .iter()
+            .map(|query| query.evaluate(summary).expect("valid query").observed_keys)
+            .sum()
+    }
+
+    /// Evaluates the fleet through the planner: one summary pass total.
+    /// Bit-identical to [`naive_fleet`] per query (`tests/planner_parity.rs`
+    /// pins this); here only the throughput difference is measured.
+    pub fn batched_fleet(summary: &Summary, batch: &QueryBatch) -> usize {
+        batch.execute(summary).expect("valid batch").iter().map(|report| report.observed_keys).sum()
+    }
+
     /// Sharded ingestion fed pre-chunked shared column batches — the
     /// zero-copy handoff (with one shard the `Arc` goes to the worker
     /// untouched; with more, columns are partitioned into pooled buffers).
@@ -260,5 +314,24 @@ mod tests {
         let (governed, peak) = workloads::sum_by_key_elements_governed(&elements, config, 4);
         assert_eq!(governed, expected, "budget accounting must not perturb the sample");
         assert!(peak > 0, "a byte-tracking budget must record a high-water mark");
+    }
+
+    #[test]
+    fn naive_and_batched_fleet_workloads_observe_the_same_keys() {
+        use cws_core::coordination::CoordinationMode;
+        use cws_core::ranks::RankFamily;
+        use cws_core::summary::SummaryConfig;
+
+        let data = ingestion_dataset(3_000, 4);
+        let config = SummaryConfig::new(64, RankFamily::Ipps, CoordinationMode::SharedSeed, 7);
+        let (colocated, dispersed) = workloads::query_summaries(&data, &config);
+        let queries = workloads::fleet_queries();
+        let batch = workloads::fleet_batch();
+        assert_eq!(batch.plan().unwrap().num_kernels(), 1, "all lanes must share one pass");
+        for summary in [&colocated, &dispersed] {
+            let naive = workloads::naive_fleet(summary, &queries);
+            assert!(naive > 0, "the fleet must observe sampled keys");
+            assert_eq!(workloads::batched_fleet(summary, &batch), naive);
+        }
     }
 }

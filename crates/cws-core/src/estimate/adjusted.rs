@@ -8,20 +8,48 @@
 
 use std::collections::HashMap;
 
+use crate::estimate::template::Selected;
+use crate::variance::ht_variance_component;
 use crate::weights::Key;
 
 /// Adjusted weights of the sampled keys.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// When built through the template estimator
+/// ([`AdjustedWeights::from_selected`], which every concrete estimator uses),
+/// each entry additionally retains its *support* — the raw `(value,
+/// probability)` pair behind the adjusted weight — which is what the
+/// variance estimators ([`AdjustedWeights::subset_variance`]) and the count
+/// estimator ([`AdjustedWeights::subset_count`]) consume. Derived summaries
+/// assembled outside the template (notably [`AdjustedWeights::difference`],
+/// the dispersed L1 construction) carry no support and report `None` for
+/// those.
+#[derive(Debug, Clone, Default)]
 pub struct AdjustedWeights {
     entries: Vec<(Key, f64)>,
     index: HashMap<Key, usize>,
+    /// `(value, probability)` per entry, aligned with `entries`; empty when
+    /// the summary was assembled without template support.
+    support: Vec<Selected>,
+}
+
+/// Two AW-summaries are equal when they assign the same adjusted weight to
+/// the same keys — the support detail is derived metadata and deliberately
+/// excluded, so a summary built from raw entries compares equal to the same
+/// summary built through the template.
+impl PartialEq for AdjustedWeights {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl AdjustedWeights {
     /// Builds an AW-summary from `(key, adjusted_weight)` pairs.
     ///
     /// Zero-valued entries are dropped (they are the implicit default);
-    /// duplicate keys are rejected.
+    /// duplicate keys are rejected. Summaries built this way carry no
+    /// support detail (no variance / count estimators); use
+    /// [`AdjustedWeights::from_selected`] when the `(value, probability)`
+    /// pairs are known.
     ///
     /// # Panics
     /// Panics on duplicate keys or negative / non-finite values.
@@ -44,7 +72,63 @@ impl AdjustedWeights {
             assert!(previous.is_none(), "duplicate adjusted weight for key {key}");
             stored.push((key, value));
         }
-        Self { entries: stored, index }
+        Self { entries: stored, index, support: Vec::new() }
+    }
+
+    /// Builds an AW-summary from `(key, `[`Selected`]`)` pairs, retaining
+    /// the `(value, probability)` support behind each adjusted weight so
+    /// variance and count estimation stay available downstream.
+    ///
+    /// The adjusted weight stored for a key is exactly
+    /// [`Selected::adjusted_weight`] (`value / probability`), bit-identical
+    /// to what [`AdjustedWeights::from_entries`] would store for the same
+    /// division. Zero-valued selections are dropped like zero entries.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys or selections yielding negative /
+    /// non-finite adjusted weights.
+    #[must_use]
+    pub fn from_selected<I>(selections: I) -> Self
+    where
+        I: IntoIterator<Item = (Key, Selected)>,
+    {
+        let mut stored = Vec::new();
+        let mut index = HashMap::new();
+        let mut support = Vec::new();
+        for (key, selected) in selections {
+            let value = selected.adjusted_weight();
+            assert!(
+                value >= 0.0 && value.is_finite(),
+                "adjusted weights must be finite and non-negative (key {key} had {value})"
+            );
+            if value == 0.0 {
+                continue;
+            }
+            let previous = index.insert(key, stored.len());
+            assert!(previous.is_none(), "duplicate adjusted weight for key {key}");
+            stored.push((key, value));
+            support.push(selected);
+        }
+        Self { entries: stored, index, support }
+    }
+
+    /// `true` when every entry retains its `(value, probability)` support —
+    /// the precondition for [`AdjustedWeights::subset_variance`] and
+    /// [`AdjustedWeights::subset_count`].
+    #[must_use]
+    pub fn has_support(&self) -> bool {
+        self.support.len() == self.entries.len()
+    }
+
+    /// Iterates over `(key, adjusted_weight, support)` triples, or `None`
+    /// when the summary carries no support.
+    pub fn supported_iter(&self) -> Option<impl Iterator<Item = (Key, f64, Selected)> + '_> {
+        self.has_support().then(|| {
+            self.entries
+                .iter()
+                .zip(self.support.iter())
+                .map(|(&(key, value), &selected)| (key, value, selected))
+        })
     }
 
     /// The adjusted weight of `key` (`0` for keys without an entry).
@@ -71,18 +155,27 @@ impl AdjustedWeights {
     }
 
     /// The estimate of the full-population aggregate `Σ_i f(i)`.
+    ///
+    /// Summed with an explicit `+0.0` seed (not `Iterator::sum`, whose
+    /// identity is `-0.0`) so that every fold in the workspace — here, the
+    /// query fold, the batch executor — produces bit-identical totals,
+    /// including `+0.0` for an empty summary.
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.entries.iter().map(|&(_, value)| value).sum()
+        self.entries.iter().fold(0.0, |acc, &(_, value)| acc + value)
     }
 
     /// The estimate of a subpopulation aggregate `Σ_{i : predicate(i)} f(i)`.
     ///
     /// The predicate is evaluated only on sampled keys — this is exactly how
-    /// AW-summaries support a-posteriori selections.
+    /// AW-summaries support a-posteriori selections. Seeded at `+0.0` like
+    /// [`AdjustedWeights::total`].
     #[must_use]
     pub fn subset_total<P: Fn(Key) -> bool>(&self, predicate: P) -> f64 {
-        self.entries.iter().filter(|&&(key, _)| predicate(key)).map(|&(_, value)| value).sum()
+        self.entries
+            .iter()
+            .filter(|&&(key, _)| predicate(key))
+            .fold(0.0, |acc, &(_, value)| acc + value)
     }
 
     /// Estimates `Σ_{i : predicate(i)} h(i)` for a secondary numeric function
@@ -107,6 +200,52 @@ impl AdjustedWeights {
                 }
             })
             .sum()
+    }
+
+    /// The HT plug-in estimate of the estimator variance over a
+    /// subpopulation, `Σ_{sampled i : predicate(i)} f(i)²(1/p(i) − 1)/p(i)`
+    /// (see [`ht_variance_component`]) — an unbiased estimate of
+    /// `Σ_{i : predicate(i)} VAR[a(i)]`, which (zero covariance across keys,
+    /// Section 5) is the variance of [`AdjustedWeights::subset_total`] for
+    /// the same predicate.
+    ///
+    /// Returns `None` when the summary carries no support detail (e.g. a
+    /// [`AdjustedWeights::difference`] summary, whose entries are differences
+    /// of correlated estimators with no per-key probability behind them).
+    #[must_use]
+    pub fn subset_variance<P: Fn(Key) -> bool>(&self, predicate: P) -> Option<f64> {
+        let iter = self.supported_iter()?;
+        Some(iter.filter(|&(key, _, _)| predicate(key)).fold(0.0, |acc, (_, _, selected)| {
+            acc + ht_variance_component(selected.value, selected.probability)
+        }))
+    }
+
+    /// [`AdjustedWeights::subset_variance`] over the full population.
+    #[must_use]
+    pub fn variance_total(&self) -> Option<f64> {
+        self.subset_variance(|_| true)
+    }
+
+    /// The HT estimate of the subpopulation *cardinality*
+    /// `|{i : predicate(i), f(i) > 0}|` and its plug-in variance estimate,
+    /// as `(count, variance)`.
+    ///
+    /// Each sampled key contributes `1/p(i)` to the count (the HT estimator
+    /// for the constant function `h(i) = 1` over the support of `f`) and
+    /// `(1/p(i) − 1)/p(i)` to the variance ([`ht_variance_component`] with
+    /// `f = 1`).
+    ///
+    /// Returns `None` when the summary carries no support detail.
+    #[must_use]
+    pub fn subset_count<P: Fn(Key) -> bool>(&self, predicate: P) -> Option<(f64, f64)> {
+        let iter = self.supported_iter()?;
+        let mut count = 0.0;
+        let mut variance = 0.0;
+        for (_, _, selected) in iter.filter(|&(key, _, _)| predicate(key)) {
+            count += 1.0 / selected.probability;
+            variance += ht_variance_component(1.0, selected.probability);
+        }
+        Some((count, variance))
     }
 
     /// Per-key difference `a(i) − b(i)` over the union of the supports,
@@ -183,6 +322,67 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_values_rejected() {
         let _ = AdjustedWeights::from_entries(vec![(1, -1.0)]);
+    }
+
+    #[test]
+    fn from_selected_matches_from_entries_and_keeps_support() {
+        let selections = vec![
+            (1, Selected { value: 2.0, probability: 0.5 }),
+            (2, Selected { value: 0.0, probability: 1.0 }),
+            (3, Selected { value: 3.0, probability: 0.25 }),
+        ];
+        let supported = AdjustedWeights::from_selected(selections.clone());
+        let plain = AdjustedWeights::from_entries(
+            selections.iter().map(|&(key, s)| (key, s.adjusted_weight())),
+        );
+        // Equality ignores support: both carry {1 → 4, 3 → 12}.
+        assert_eq!(supported, plain);
+        assert!(supported.has_support());
+        assert!(!plain.has_support());
+        assert_eq!(supported.len(), 2);
+        assert_eq!(supported.get(1), 4.0);
+        assert_eq!(supported.get(3), 12.0);
+    }
+
+    #[test]
+    fn subset_variance_sums_plug_in_components() {
+        let aw = AdjustedWeights::from_selected(vec![
+            (1, Selected { value: 2.0, probability: 0.5 }),
+            (2, Selected { value: 3.0, probability: 0.25 }),
+        ]);
+        // key 1: 4·(2−1)·2 = 8; key 2: 9·(4−1)·4 = 108.
+        let total = aw.variance_total().unwrap();
+        assert!((total - 116.0).abs() < 1e-9);
+        let only_one = aw.subset_variance(|k| k == 1).unwrap();
+        assert!((only_one - 8.0).abs() < 1e-12);
+        // No support → no variance estimate.
+        assert!(AdjustedWeights::from_entries(vec![(1, 1.0)]).variance_total().is_none());
+    }
+
+    #[test]
+    fn subset_count_is_ht_over_the_support() {
+        let aw = AdjustedWeights::from_selected(vec![
+            (1, Selected { value: 2.0, probability: 0.5 }),
+            (2, Selected { value: 3.0, probability: 0.25 }),
+        ]);
+        let (count, variance) = aw.subset_count(|_| true).unwrap();
+        assert!((count - 6.0).abs() < 1e-12); // 2 + 4
+        assert!((variance - (2.0 + 12.0)).abs() < 1e-12); // (2−1)·2 + (4−1)·4
+        let (count, variance) = aw.subset_count(|k| k == 2).unwrap();
+        assert!((count - 4.0).abs() < 1e-12);
+        assert!((variance - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_drops_support() {
+        let a =
+            AdjustedWeights::from_selected(vec![(1, Selected { value: 5.0, probability: 1.0 })]);
+        let b =
+            AdjustedWeights::from_selected(vec![(1, Selected { value: 2.0, probability: 1.0 })]);
+        let d = AdjustedWeights::difference(&a, &b);
+        assert_eq!(d.get(1), 3.0);
+        assert!(!d.has_support());
+        assert!(d.variance_total().is_none());
     }
 
     #[test]

@@ -115,12 +115,48 @@ impl<'a> InclusiveEstimator<'a> {
         })
     }
 
-    /// Adjusted weights for one of the standard aggregates.
+    /// Inclusion probabilities for every record, aligned with
+    /// `summary.records()`.
     ///
-    /// # Errors
-    /// Returns an error if the aggregate references an assignment outside the
-    /// summary or has an empty relevant set.
-    pub fn aggregate(&self, f: &AggregateFn) -> Result<AdjustedWeights> {
+    /// The inclusion probability of a record is a property of the summary
+    /// outcome alone — it does not depend on the aggregate being estimated —
+    /// so one probability pass can be shared across any number of aggregates
+    /// via [`InclusiveEstimator::aggregate_with`]. The values are
+    /// bit-identical to what [`InclusiveEstimator::aggregate`] computes
+    /// internally.
+    #[must_use]
+    pub fn inclusion_probabilities(&self) -> Vec<f64> {
+        self.summary.records().iter().map(|record| self.inclusion_probability(record)).collect()
+    }
+
+    /// Like [`InclusiveEstimator::adjusted_weights_with`], but reusing the
+    /// precomputed `probabilities` from
+    /// [`InclusiveEstimator::inclusion_probabilities`] instead of
+    /// recomputing them. `inclusion_probability` is deterministic, so the
+    /// result is bit-identical to the recomputing path.
+    ///
+    /// # Panics
+    /// Panics when `probabilities` is not aligned with the summary records.
+    #[must_use]
+    pub fn adjusted_weights_with_probs<F>(&self, f: F, probabilities: &[f64]) -> AdjustedWeights
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        let records = self.summary.records();
+        assert_eq!(
+            records.len(),
+            probabilities.len(),
+            "probabilities must be aligned with the summary records"
+        );
+        AdjustedWeights::from_selected(records.iter().zip(probabilities).filter_map(
+            |(record, &probability)| {
+                let value = f(&record.weights);
+                (value != 0.0).then_some((record.key, Selected { value, probability }))
+            },
+        ))
+    }
+
+    fn validate(&self, f: &AggregateFn) -> Result<()> {
         let relevant = f.relevant_assignments();
         if relevant.is_empty() {
             return Err(CwsError::EmptyAssignmentSet);
@@ -137,7 +173,37 @@ impl<'a> InclusiveEstimator<'a> {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Adjusted weights for one of the standard aggregates.
+    ///
+    /// # Errors
+    /// Returns an error if the aggregate references an assignment outside the
+    /// summary or has an empty relevant set.
+    pub fn aggregate(&self, f: &AggregateFn) -> Result<AdjustedWeights> {
+        self.validate(f)?;
         Ok(self.adjusted_weights_with(|weights| f.evaluate(weights)))
+    }
+
+    /// [`InclusiveEstimator::aggregate`] with a shared probability pass: the
+    /// validation is identical, and the adjusted weights are bit-identical
+    /// when `probabilities` comes from
+    /// [`InclusiveEstimator::inclusion_probabilities`].
+    ///
+    /// # Errors
+    /// Returns an error if the aggregate references an assignment outside the
+    /// summary or has an empty relevant set.
+    ///
+    /// # Panics
+    /// Panics when `probabilities` is not aligned with the summary records.
+    pub fn aggregate_with(
+        &self,
+        f: &AggregateFn,
+        probabilities: &[f64],
+    ) -> Result<AdjustedWeights> {
+        self.validate(f)?;
+        Ok(self.adjusted_weights_with_probs(|weights| f.evaluate(weights), probabilities))
     }
 
     /// Adjusted weights for the single-assignment sum `Σ w^(b)(i)`.
@@ -381,6 +447,45 @@ mod tests {
                 })
                 .fold(0.0f64, f64::max);
             assert!((p - max_single).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregate_with_shared_probabilities_is_bit_identical() {
+        let data = fixture(200);
+        for (family, mode) in modes() {
+            let config = SummaryConfig::new(25, family, mode, 29);
+            let summary = ColocatedSummary::build(&data, &config);
+            let estimator = InclusiveEstimator::new(&summary);
+            let probs = estimator.inclusion_probabilities();
+            for aggregate in [
+                AggregateFn::SingleAssignment(1),
+                AggregateFn::Max(vec![0, 2]),
+                AggregateFn::Min(vec![0, 2]),
+                AggregateFn::L1(vec![0, 2]),
+            ] {
+                let direct = estimator.aggregate(&aggregate).unwrap();
+                let shared = estimator.aggregate_with(&aggregate, &probs).unwrap();
+                assert_eq!(direct.len(), shared.len(), "{family:?}/{mode:?}");
+                for (key, value) in direct.iter() {
+                    // Bit-level equality, not approximate.
+                    assert_eq!(
+                        value.to_bits(),
+                        shared.get(key).to_bits(),
+                        "{family:?}/{mode:?} {}",
+                        aggregate.label()
+                    );
+                }
+                assert_eq!(
+                    direct.variance_total().unwrap().to_bits(),
+                    shared.variance_total().unwrap().to_bits()
+                );
+            }
+            // Validation is shared too.
+            assert!(matches!(
+                estimator.aggregate_with(&AggregateFn::Max(vec![]), &probs),
+                Err(CwsError::EmptyAssignmentSet)
+            ));
         }
     }
 

@@ -30,7 +30,7 @@ use crate::weights::Key;
 
 /// Which of the two selection rules to use for `min` / ℓ-th-largest
 /// estimators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectionKind {
     /// The simpler, more restrictive selection (Section 7.1).
     SSet,

@@ -2,6 +2,7 @@
 //! rank conditioning (RC) for bottom-k samples (Section 3).
 
 use crate::estimate::adjusted::AdjustedWeights;
+use crate::estimate::template::Selected;
 use crate::ranks::RankFamily;
 use crate::sketch::bottomk::BottomKSketch;
 use crate::sketch::poisson::PoissonSketch;
@@ -15,9 +16,9 @@ use crate::sketch::poisson::PoissonSketch;
 #[must_use]
 pub fn rc_adjusted_weights(sketch: &BottomKSketch, family: RankFamily) -> AdjustedWeights {
     let threshold = sketch.next_rank();
-    AdjustedWeights::from_entries(sketch.entries().iter().map(|entry| {
+    AdjustedWeights::from_selected(sketch.entries().iter().map(|entry| {
         let p = family.inclusion_probability(entry.weight, threshold);
-        (entry.key, entry.weight / p)
+        (entry.key, Selected { value: entry.weight, probability: p })
     }))
 }
 
@@ -26,9 +27,9 @@ pub fn rc_adjusted_weights(sketch: &BottomKSketch, family: RankFamily) -> Adjust
 #[must_use]
 pub fn ht_adjusted_weights(sketch: &PoissonSketch, family: RankFamily) -> AdjustedWeights {
     let tau = sketch.tau();
-    AdjustedWeights::from_entries(sketch.entries().iter().map(|entry| {
+    AdjustedWeights::from_selected(sketch.entries().iter().map(|entry| {
         let p = family.inclusion_probability(entry.weight, tau);
-        (entry.key, entry.weight / p)
+        (entry.key, Selected { value: entry.weight, probability: p })
     }))
 }
 

@@ -61,17 +61,17 @@ impl Selected {
 /// key of the summary and assembles the resulting [`AdjustedWeights`].
 ///
 /// `selection(key)` returns `None` when the outcome is not in `S*(key)` (the
-/// key then keeps its implicit zero adjusted weight).
+/// key then keeps its implicit zero adjusted weight). The `(value,
+/// probability)` pairs are retained as support detail, so the resulting
+/// summary can also estimate its own variance and the subpopulation count.
 #[must_use]
 pub fn estimate_from_selection<I, F>(candidates: I, mut selection: F) -> AdjustedWeights
 where
     I: IntoIterator<Item = Key>,
     F: FnMut(Key) -> Option<Selected>,
 {
-    AdjustedWeights::from_entries(
-        candidates
-            .into_iter()
-            .filter_map(|key| selection(key).map(|selected| (key, selected.adjusted_weight()))),
+    AdjustedWeights::from_selected(
+        candidates.into_iter().filter_map(|key| selection(key).map(|selected| (key, selected))),
     )
 }
 

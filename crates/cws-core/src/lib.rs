@@ -90,6 +90,7 @@ pub use estimate::dispersed::{DispersedEstimator, SelectionKind};
 pub use fault::{FaultPlan, WorkerFault};
 pub use ranks::RankFamily;
 pub use summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+pub use variance::{normal_ci, ConfidenceInterval, Z_95};
 pub use weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
 
 /// Commonly used items.
@@ -111,5 +112,6 @@ pub mod prelude {
     pub use crate::sketch::kmins::KMinsSketch;
     pub use crate::sketch::poisson::PoissonSketch;
     pub use crate::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
+    pub use crate::variance::{normal_ci, ConfidenceInterval, Z_95};
     pub use crate::weights::{Key, MultiWeighted, MultiWeightedBuilder, WeightedSet};
 }

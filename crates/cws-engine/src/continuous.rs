@@ -47,7 +47,8 @@ use cws_core::{CwsError, Key, Result};
 
 use crate::ingest::Ingest;
 use crate::pipeline::{Pipeline, PipelineBuilder};
-use crate::query::Query;
+use crate::plan::QueryBatch;
+use crate::query::{EstimateReport, Query};
 use crate::store::SnapshotStore;
 use crate::summary::Summary;
 
@@ -155,6 +156,20 @@ impl EpochedPipeline {
     #[must_use]
     pub fn latest(&self) -> Option<Arc<Summary>> {
         self.latest.clone()
+    }
+
+    /// Executes a [`QueryBatch`] against the most recently published
+    /// snapshot ([`latest`](Self::latest)); `None` before the first
+    /// publish. During degraded serving this answers from the last *good*
+    /// epoch, like every other read.
+    ///
+    /// Concurrent callers should instead clone the `Arc<Summary>` from
+    /// [`latest`](Self::latest) once and batch against it directly (see
+    /// `examples/query_fleet.rs`) — this convenience borrows the pipeline,
+    /// which normally lives with the ingestion thread.
+    #[must_use]
+    pub fn query_batch(&self, batch: &QueryBatch) -> Option<Result<Vec<EstimateReport>>> {
+        self.latest().map(|summary| batch.execute(&summary))
     }
 
     /// The degraded state, present from the first failed publish until the

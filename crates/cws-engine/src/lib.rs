@@ -53,6 +53,7 @@ pub mod aggregation;
 pub mod continuous;
 pub mod ingest;
 pub mod pipeline;
+pub mod plan;
 pub mod query;
 pub mod store;
 pub mod summary;
@@ -61,7 +62,8 @@ pub use aggregation::{Aggregation, KeyAggregator, QuarantineDrain};
 pub use continuous::{DegradedState, Drift, EpochReport, EpochedPipeline, WindowedPipeline};
 pub use ingest::Ingest;
 pub use pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
-pub use query::{Estimate, Query};
+pub use plan::{AggregateSpec, QueryBatch, QueryPlan, QuerySpec};
+pub use query::{Estimate, EstimateReport, Query, DEADLINE_CHECK_STRIDE};
 pub use store::{QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore};
 pub use summary::Summary;
 
@@ -73,7 +75,8 @@ pub mod prelude {
     };
     pub use crate::ingest::Ingest;
     pub use crate::pipeline::{Execution, Layout, Pipeline, PipelineBuilder};
-    pub use crate::query::{Estimate, Query};
+    pub use crate::plan::{AggregateSpec, QueryBatch, QueryPlan, QuerySpec};
+    pub use crate::query::{Estimate, EstimateReport, Query, DEADLINE_CHECK_STRIDE};
     pub use crate::store::{
         QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore,
     };

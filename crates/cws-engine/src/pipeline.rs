@@ -15,6 +15,7 @@ use cws_stream::{
 
 use crate::aggregation::{Aggregation, KeyAggregator};
 use crate::ingest::Ingest;
+use crate::query::EstimateReport;
 use crate::summary::Summary;
 
 /// Which summary layout the pipeline produces (the paper's two models).
@@ -573,6 +574,21 @@ impl Pipeline {
             deadline: self.deadline,
         };
         copy.finalize()
+    }
+
+    /// Snapshots the pipeline ([`snapshot`](Pipeline::snapshot)) and
+    /// executes a [`QueryBatch`](crate::plan::QueryBatch) against the
+    /// snapshot — the one-liner for "what do these aggregates look like
+    /// right now?" mid-ingestion. For heavy concurrent serving, prefer
+    /// publishing epochs with
+    /// [`EpochedPipeline`](crate::continuous::EpochedPipeline) and batching
+    /// against the shared [`Arc<Summary>`] snapshots.
+    ///
+    /// # Errors
+    /// As [`Pipeline::snapshot`] (typed error for sharded pipelines) and
+    /// [`QueryBatch::execute`](crate::plan::QueryBatch::execute).
+    pub fn query_batch(&self, batch: &crate::plan::QueryBatch) -> Result<Vec<EstimateReport>> {
+        batch.execute(&self.snapshot()?)
     }
 
     /// The aggregation stage's quarantine report: how many poison records

@@ -1,0 +1,334 @@
+//! The batched-query IR: *what* to estimate (aggregate × assignment or
+//! assignment pair), *over which keys* (an optional a-posteriori predicate)
+//! and *with which evidence* (the s-set / l-set selection on dispersed
+//! summaries).
+//!
+//! A [`QueryBatch`] is an ordered list of [`QuerySpec`]s plus batch-wide
+//! execution knobs (deadline, deadline-check stride). Specs are deliberately
+//! declarative — no closures over summaries, no layout knowledge — so the
+//! planner can regroup them freely.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cws_core::{CwsError, Key, Result, SelectionKind};
+
+use crate::plan::executor;
+use crate::plan::planner::QueryPlan;
+use crate::query::{EstimateReport, DEADLINE_CHECK_STRIDE};
+use crate::summary::Summary;
+
+/// The aggregate a [`QuerySpec`] estimates.
+///
+/// Single-assignment aggregates (`Sum`, `Count`, `Avg`) name one weight
+/// assignment; multi-assignment aggregates (`Max`, `Min`, `L1`, `Jaccard`)
+/// name an *unordered* pair of distinct assignments — the pair is normalized
+/// to `(lo, hi)` at construction and a degenerate pair (`a == a`) is
+/// rejected with a typed error at planning time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateSpec {
+    /// The subpopulation sum `Σ w^(b)(i)`.
+    Sum {
+        /// The weight assignment `b`.
+        assignment: usize,
+    },
+    /// The number of keys with `w^(b)(i) > 0` in the subpopulation
+    /// (HT estimate `Σ 1/p(i)` over sampled contributing keys).
+    Count {
+        /// The weight assignment `b`.
+        assignment: usize,
+    },
+    /// The mean weight over contributing keys — the ratio of the `Sum` and
+    /// `Count` estimates (no unbiased variance estimate; see
+    /// [`EstimateReport`]).
+    Avg {
+        /// The weight assignment `b`.
+        assignment: usize,
+    },
+    /// The max-dominance sum `Σ max(w^(a)(i), w^(b)(i))`.
+    Max {
+        /// The unordered assignment pair, normalized to `(lo, hi)`.
+        pair: (usize, usize),
+    },
+    /// The min-dominance sum `Σ min(w^(a)(i), w^(b)(i))`.
+    Min {
+        /// The unordered assignment pair, normalized to `(lo, hi)`.
+        pair: (usize, usize),
+    },
+    /// The L1 difference `Σ |w^(a)(i) − w^(b)(i)|`.
+    L1 {
+        /// The unordered assignment pair, normalized to `(lo, hi)`.
+        pair: (usize, usize),
+    },
+    /// The weighted Jaccard similarity `Σ min / Σ max` (`0` when the max
+    /// total is zero, matching
+    /// [`weighted_jaccard`](cws_core::aggregates::weighted_jaccard); a ratio
+    /// estimate with no variance).
+    Jaccard {
+        /// The unordered assignment pair, normalized to `(lo, hi)`.
+        pair: (usize, usize),
+    },
+}
+
+impl AggregateSpec {
+    /// Validates the spec shape: pairs must name two *distinct* assignments.
+    ///
+    /// Out-of-range assignment indices are summary-dependent and therefore
+    /// surface at execution time (as
+    /// [`CwsError::AssignmentOutOfRange`](cws_core::CwsError)), not here.
+    pub(crate) fn validate(&self) -> Result<()> {
+        match self {
+            Self::Sum { .. } | Self::Count { .. } | Self::Avg { .. } => Ok(()),
+            Self::Max { pair }
+            | Self::Min { pair }
+            | Self::L1 { pair }
+            | Self::Jaccard { pair } => {
+                if pair.0 == pair.1 {
+                    return Err(CwsError::InvalidParameter {
+                        name: "assignment_pair",
+                        message: format!(
+                            "pair aggregates need two distinct assignments, got ({}, {})",
+                            pair.0, pair.1
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The predicate type of a [`QuerySpec`]: `Send + Sync` so one batch can be
+/// shared by many threads querying the same snapshot.
+pub type SharedPredicate = Arc<dyn Fn(Key) -> bool + Send + Sync>;
+
+/// One aggregate request inside a [`QueryBatch`].
+#[derive(Clone)]
+pub struct QuerySpec {
+    aggregate: AggregateSpec,
+    selection: SelectionKind,
+    predicate: Option<SharedPredicate>,
+}
+
+impl fmt::Debug for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuerySpec")
+            .field("aggregate", &self.aggregate)
+            .field("selection", &self.selection)
+            .field("predicate", &self.predicate.as_ref().map(|_| "<predicate>"))
+            .finish()
+    }
+}
+
+fn normalize(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl QuerySpec {
+    fn new(aggregate: AggregateSpec) -> Self {
+        Self { aggregate, selection: SelectionKind::LSet, predicate: None }
+    }
+
+    /// The subpopulation sum over assignment `b`.
+    #[must_use]
+    pub fn sum(assignment: usize) -> Self {
+        Self::new(AggregateSpec::Sum { assignment })
+    }
+
+    /// The subpopulation cardinality (keys with positive weight) under
+    /// assignment `b`.
+    #[must_use]
+    pub fn count(assignment: usize) -> Self {
+        Self::new(AggregateSpec::Count { assignment })
+    }
+
+    /// The mean weight over contributing keys under assignment `b`.
+    #[must_use]
+    pub fn avg(assignment: usize) -> Self {
+        Self::new(AggregateSpec::Avg { assignment })
+    }
+
+    /// The max-dominance sum over the assignment pair `{a, b}`.
+    #[must_use]
+    pub fn max(a: usize, b: usize) -> Self {
+        Self::new(AggregateSpec::Max { pair: normalize(a, b) })
+    }
+
+    /// The min-dominance sum over the assignment pair `{a, b}`.
+    #[must_use]
+    pub fn min(a: usize, b: usize) -> Self {
+        Self::new(AggregateSpec::Min { pair: normalize(a, b) })
+    }
+
+    /// The L1 difference over the assignment pair `{a, b}`.
+    #[must_use]
+    pub fn l1(a: usize, b: usize) -> Self {
+        Self::new(AggregateSpec::L1 { pair: normalize(a, b) })
+    }
+
+    /// The weighted Jaccard similarity of the assignment pair `{a, b}`.
+    #[must_use]
+    pub fn jaccard(a: usize, b: usize) -> Self {
+        Self::new(AggregateSpec::Jaccard { pair: normalize(a, b) })
+    }
+
+    /// Restricts the estimate to keys satisfying `predicate` (a-posteriori
+    /// subpopulation selection). Predicate evaluation is pushed into the
+    /// shared fold — specs with different predicates still share one summary
+    /// pass.
+    #[must_use]
+    pub fn filter<P: Fn(Key) -> bool + Send + Sync + 'static>(mut self, predicate: P) -> Self {
+        self.predicate = Some(Arc::new(predicate));
+        self
+    }
+
+    /// Selection rule for dispersed summaries (default
+    /// [`SelectionKind::LSet`]); ignored by colocated summaries, exactly as
+    /// in [`Query`](crate::query::Query).
+    #[must_use]
+    pub fn selection(mut self, kind: SelectionKind) -> Self {
+        self.selection = kind;
+        self
+    }
+
+    /// The aggregate this spec estimates.
+    #[must_use]
+    pub fn aggregate(&self) -> &AggregateSpec {
+        &self.aggregate
+    }
+
+    /// The dispersed-summary selection rule.
+    #[must_use]
+    pub fn selection_kind(&self) -> SelectionKind {
+        self.selection
+    }
+
+    /// The a-posteriori key predicate, when one was set.
+    #[must_use]
+    pub fn predicate(&self) -> Option<&SharedPredicate> {
+        self.predicate.as_ref()
+    }
+}
+
+/// An ordered batch of [`QuerySpec`]s evaluated together: the planner groups
+/// specs that can share one pass over the summary, the executor fans every
+/// folded key out to all accumulators, and results come back in input order
+/// as [`EstimateReport`]s.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    specs: Vec<QuerySpec>,
+    deadline: Option<Duration>,
+    check_stride: usize,
+}
+
+impl QueryBatch {
+    /// An empty batch (executing it yields an empty result vector).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { specs: Vec::new(), deadline: None, check_stride: DEADLINE_CHECK_STRIDE }
+    }
+
+    /// Appends a spec (builder style). Results are returned in push order.
+    #[must_use]
+    pub fn push(mut self, spec: QuerySpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Appends every spec from `specs`.
+    #[must_use]
+    pub fn extend<I: IntoIterator<Item = QuerySpec>>(mut self, specs: I) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Bounds how long one [`QueryBatch::execute`] call may run. The
+    /// deadline is armed afresh per execution and checked before every
+    /// kernel pass and every
+    /// [`DEADLINE_CHECK_STRIDE`]
+    /// folded keys (see [`QueryBatch::deadline_check_stride`]); expiry is a
+    /// typed [`CwsError::DeadlineExceeded`](cws_core::CwsError) and poisons
+    /// nothing — the summary stays queryable.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides the deadline-check cadence (default
+    /// [`DEADLINE_CHECK_STRIDE`] folded
+    /// keys — the same constant [`Query`](crate::query::Query) uses). Zero
+    /// is rejected with a typed error at execution time.
+    #[must_use]
+    pub fn deadline_check_stride(mut self, stride: usize) -> Self {
+        self.check_stride = stride;
+        self
+    }
+
+    /// Number of specs in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the batch holds no specs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs, in execution (= result) order.
+    #[must_use]
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// The batch deadline, when one was set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The deadline-check stride.
+    #[must_use]
+    pub fn check_stride(&self) -> usize {
+        self.check_stride
+    }
+
+    /// Plans the batch: validates every spec and groups them into shared
+    /// summary passes (kernels). Planning is summary-independent — the same
+    /// plan shape serves both layouts.
+    ///
+    /// # Errors
+    /// Returns a typed [`CwsError`] for invalid specs
+    /// (degenerate assignment pairs) or a zero deadline-check stride.
+    pub fn plan(&self) -> Result<QueryPlan> {
+        QueryPlan::build(self)
+    }
+
+    /// Plans and executes the batch against `summary`, returning one
+    /// [`EstimateReport`] per spec, in input order — each bit-identical to
+    /// evaluating the spec through [`Query`](crate::query::Query) on its
+    /// own (for the aggregates `Query` can express), with the variance and
+    /// 95% CI filled in where the estimator supports them.
+    ///
+    /// # Errors
+    /// As [`QueryBatch::plan`]; additionally out-of-range assignments
+    /// (summary-dependent) and
+    /// [`CwsError::DeadlineExceeded`](cws_core::CwsError) once an armed
+    /// [deadline](QueryBatch::with_deadline) expires.
+    pub fn execute(&self, summary: &Summary) -> Result<Vec<EstimateReport>> {
+        executor::execute(self, summary)
+    }
+}
+
+impl FromIterator<QuerySpec> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = QuerySpec>>(iter: I) -> Self {
+        Self::new().extend(iter)
+    }
+}

@@ -1,0 +1,291 @@
+//! Groups the specs of a [`QueryBatch`] into shared summary passes.
+//!
+//! The unit of work is a *kernel*: one adjusted-weight computation,
+//! identified by `(aggregate kernel, selection rule)`. Computing a kernel is
+//! the expensive part of query evaluation — it walks every summary record
+//! and evaluates inclusion probabilities — so the planner's whole job is to
+//! make each distinct kernel appear exactly once, no matter how many specs
+//! read from it:
+//!
+//! * every `Sum` / `Count` / `Avg` spec over assignment `b` shares the
+//!   `Single(b)` kernel — predicates differ per spec, but predicate
+//!   evaluation is pushed into the fold, not into the kernel;
+//! * `Max` / `Min` / `L1` specs over the same (normalized) pair and
+//!   selection share the corresponding pair kernel;
+//! * a `Jaccard` spec taps *two* kernels (the `Min` and `Max` of its pair),
+//!   sharing each with any other spec that wants it.
+
+use std::collections::HashMap;
+
+use cws_core::aggregates::AggregateFn;
+use cws_core::{Result, SelectionKind};
+
+use crate::plan::ir::{AggregateSpec, QueryBatch};
+use crate::query::validate_stride;
+
+/// The aggregate behind one shared pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum KernelKind {
+    /// The single-assignment sum / RC estimator of assignment `b`.
+    Single(usize),
+    /// The max-dominance estimator of a normalized pair.
+    Max(usize, usize),
+    /// The min-dominance estimator of a normalized pair.
+    Min(usize, usize),
+    /// The L1 (range) estimator of a normalized pair.
+    L1(usize, usize),
+}
+
+/// One shared adjusted-weight pass: which aggregate, under which dispersed
+/// selection rule. Colocated summaries ignore the selection (their inclusive
+/// estimator is already maximally inclusive), mirroring single-`Query`
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Kernel {
+    pub(crate) kind: KernelKind,
+    pub(crate) selection: SelectionKind,
+}
+
+impl Kernel {
+    /// The equivalent [`AggregateFn`], as a single [`Query`](crate::Query)
+    /// over the same aggregate would build it.
+    pub(crate) fn aggregate_fn(&self) -> AggregateFn {
+        match self.kind {
+            KernelKind::Single(b) => AggregateFn::SingleAssignment(b),
+            KernelKind::Max(a, b) => AggregateFn::Max(vec![a, b]),
+            KernelKind::Min(a, b) => AggregateFn::Min(vec![a, b]),
+            KernelKind::L1(a, b) => AggregateFn::L1(vec![a, b]),
+        }
+    }
+}
+
+/// How one folded kernel entry feeds one spec's accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    /// Accumulate the adjusted weight (and its variance component) into the
+    /// spec's main total: `Sum`, `Max`, `Min`, `L1`.
+    Sum,
+    /// Accumulate `1/p` (and the count variance component): `Count`.
+    Count,
+    /// Accumulate both the adjusted weight and `1/p`: `Avg` reads both off
+    /// one pass.
+    SumAndCount,
+    /// Accumulate the adjusted weight into the spec's main total (`Jaccard`
+    /// numerator, the min kernel).
+    RatioNumerator,
+    /// Accumulate the adjusted weight into the spec's auxiliary total
+    /// (`Jaccard` denominator, the max kernel).
+    RatioDenominator,
+}
+
+/// One reader of a kernel: the spec index and what it accumulates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tap {
+    pub(crate) spec: usize,
+    pub(crate) role: Role,
+}
+
+/// How a spec's final [`EstimateReport`](crate::query::EstimateReport) is
+/// assembled from its accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Binding {
+    /// `value = total`, variance when the kernel retains support.
+    Total,
+    /// `value = total` (the `Σ 1/p` count), variance always available.
+    Count,
+    /// `value = total / aux` (`0` when `aux == 0`), no variance — `Avg` and
+    /// `Jaccard`.
+    Ratio,
+}
+
+/// The grouped execution plan of a [`QueryBatch`]: the distinct kernels, the
+/// taps reading each kernel, and the per-spec result bindings.
+///
+/// Build one with [`QueryBatch::plan`]; inspect the sharing with
+/// [`QueryPlan::num_kernels`] versus [`QueryPlan::num_specs`].
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    kernels: Vec<Kernel>,
+    taps: Vec<Vec<Tap>>,
+    bindings: Vec<Binding>,
+}
+
+impl QueryPlan {
+    pub(crate) fn build(batch: &QueryBatch) -> Result<Self> {
+        validate_stride(batch.check_stride())?;
+        let mut kernels: Vec<Kernel> = Vec::new();
+        let mut taps: Vec<Vec<Tap>> = Vec::new();
+        let mut slots: HashMap<Kernel, usize> = HashMap::new();
+        let mut bindings = Vec::with_capacity(batch.len());
+        let mut intern = |kernel: Kernel, taps: &mut Vec<Vec<Tap>>| -> usize {
+            *slots.entry(kernel).or_insert_with(|| {
+                kernels.push(kernel);
+                taps.push(Vec::new());
+                kernels.len() - 1
+            })
+        };
+        for (index, spec) in batch.specs().iter().enumerate() {
+            spec.aggregate().validate()?;
+            let selection = spec.selection_kind();
+            match *spec.aggregate() {
+                AggregateSpec::Sum { assignment } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::Single(assignment), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::Sum });
+                    bindings.push(Binding::Total);
+                }
+                AggregateSpec::Count { assignment } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::Single(assignment), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::Count });
+                    bindings.push(Binding::Count);
+                }
+                AggregateSpec::Avg { assignment } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::Single(assignment), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::SumAndCount });
+                    bindings.push(Binding::Ratio);
+                }
+                AggregateSpec::Max { pair } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::Max(pair.0, pair.1), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::Sum });
+                    bindings.push(Binding::Total);
+                }
+                AggregateSpec::Min { pair } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::Min(pair.0, pair.1), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::Sum });
+                    bindings.push(Binding::Total);
+                }
+                AggregateSpec::L1 { pair } => {
+                    let slot = intern(
+                        Kernel { kind: KernelKind::L1(pair.0, pair.1), selection },
+                        &mut taps,
+                    );
+                    taps[slot].push(Tap { spec: index, role: Role::Sum });
+                    bindings.push(Binding::Total);
+                }
+                AggregateSpec::Jaccard { pair } => {
+                    let min_slot = intern(
+                        Kernel { kind: KernelKind::Min(pair.0, pair.1), selection },
+                        &mut taps,
+                    );
+                    taps[min_slot].push(Tap { spec: index, role: Role::RatioNumerator });
+                    let max_slot = intern(
+                        Kernel { kind: KernelKind::Max(pair.0, pair.1), selection },
+                        &mut taps,
+                    );
+                    taps[max_slot].push(Tap { spec: index, role: Role::RatioDenominator });
+                    bindings.push(Binding::Ratio);
+                }
+            }
+        }
+        Ok(Self { kernels, taps, bindings })
+    }
+
+    /// Number of distinct summary passes the plan will run. The shared-pass
+    /// win of batching is `num_specs / num_kernels` passes saved.
+    #[must_use]
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Number of specs the plan serves.
+    #[must_use]
+    pub fn num_specs(&self) -> usize {
+        self.bindings.len()
+    }
+
+    pub(crate) fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    pub(crate) fn taps(&self, kernel: usize) -> &[Tap] {
+        &self.taps[kernel]
+    }
+
+    pub(crate) fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ir::QuerySpec;
+    use cws_core::CwsError;
+
+    #[test]
+    fn sum_count_avg_over_one_assignment_share_a_single_kernel() {
+        let batch = QueryBatch::new()
+            .push(QuerySpec::sum(1))
+            .push(QuerySpec::count(1))
+            .push(QuerySpec::avg(1))
+            .push(QuerySpec::sum(1).filter(|key| key % 2 == 0));
+        let plan = batch.plan().unwrap();
+        assert_eq!(plan.num_kernels(), 1);
+        assert_eq!(plan.num_specs(), 4);
+        assert_eq!(
+            plan.kernels()[0],
+            Kernel { kind: KernelKind::Single(1), selection: cws_core::SelectionKind::LSet }
+        );
+        let roles: Vec<Role> = plan.taps(0).iter().map(|tap| tap.role).collect();
+        assert_eq!(roles, [Role::Sum, Role::Count, Role::SumAndCount, Role::Sum]);
+        assert_eq!(
+            plan.bindings(),
+            [Binding::Total, Binding::Count, Binding::Ratio, Binding::Total]
+        );
+    }
+
+    #[test]
+    fn jaccard_taps_the_min_and_max_kernels_of_its_pair() {
+        // The pair is normalized at spec construction, so jaccard(2, 0),
+        // min(0, 2) and max(2, 0) all meet on the same two kernels.
+        let batch = QueryBatch::new()
+            .push(QuerySpec::jaccard(2, 0))
+            .push(QuerySpec::min(0, 2))
+            .push(QuerySpec::max(2, 0));
+        let plan = batch.plan().unwrap();
+        assert_eq!(plan.num_kernels(), 2);
+        let min_slot =
+            plan.kernels().iter().position(|kernel| kernel.kind == KernelKind::Min(0, 2)).unwrap();
+        let max_slot =
+            plan.kernels().iter().position(|kernel| kernel.kind == KernelKind::Max(0, 2)).unwrap();
+        let min_roles: Vec<Role> = plan.taps(min_slot).iter().map(|tap| tap.role).collect();
+        let max_roles: Vec<Role> = plan.taps(max_slot).iter().map(|tap| tap.role).collect();
+        assert_eq!(min_roles, [Role::RatioNumerator, Role::Sum]);
+        assert_eq!(max_roles, [Role::RatioDenominator, Role::Sum]);
+    }
+
+    #[test]
+    fn distinct_selections_do_not_share_a_kernel() {
+        let batch = QueryBatch::new()
+            .push(QuerySpec::min(0, 1))
+            .push(QuerySpec::min(0, 1).selection(cws_core::SelectionKind::SSet));
+        assert_eq!(batch.plan().unwrap().num_kernels(), 2);
+    }
+
+    #[test]
+    fn degenerate_pairs_fail_planning_with_a_typed_error() {
+        for spec in [
+            QuerySpec::l1(3, 3),
+            QuerySpec::max(0, 0),
+            QuerySpec::min(1, 1),
+            QuerySpec::jaccard(2, 2),
+        ] {
+            let err = QueryBatch::new().push(spec).plan().unwrap_err();
+            assert!(matches!(err, CwsError::InvalidParameter { name: "assignment_pair", .. }));
+        }
+    }
+}

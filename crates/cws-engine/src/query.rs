@@ -15,9 +15,34 @@ use std::time::Duration;
 use cws_core::aggregates::AggregateFn;
 use cws_core::budget::Deadline;
 use cws_core::estimate::adjusted::AdjustedWeights;
-use cws_core::{DispersedEstimator, InclusiveEstimator, Key, Result, SelectionKind};
+use cws_core::variance::{ht_variance_component, normal_ci, ConfidenceInterval, Z_95};
+use cws_core::{CwsError, DispersedEstimator, InclusiveEstimator, Key, Result, SelectionKind};
 
 use crate::summary::Summary;
+
+/// How many folded keys pass between wall-clock deadline checks by default,
+/// during both [`Query::evaluate`] and batched execution
+/// ([`crate::plan::QueryBatch`]).
+///
+/// The check itself is one `Instant::now()` comparison; at this stride its
+/// cost is amortized to noise while an armed deadline is still noticed
+/// within ~a thousand predicate evaluations. Override per query with
+/// [`Query::deadline_check_stride`] (or per batch with
+/// [`crate::plan::QueryBatch::deadline_check_stride`]) when folds are
+/// unusually expensive (check more often) or unusually hot (check less
+/// often).
+pub const DEADLINE_CHECK_STRIDE: usize = 1024;
+
+/// Rejects a zero deadline-check stride with a typed error.
+pub(crate) fn validate_stride(stride: usize) -> Result<usize> {
+    if stride == 0 {
+        return Err(CwsError::InvalidParameter {
+            name: "deadline_check_stride",
+            message: "must be positive (the number of folded keys between deadline checks)".into(),
+        });
+    }
+    Ok(stride)
+}
 
 /// The outcome of evaluating a [`Query`] against a [`Summary`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +53,104 @@ pub struct Estimate {
     /// adjusted weight and passing the filter) — a direct sense of how much
     /// evidence backs the number.
     pub observed_keys: usize,
+}
+
+/// An [`Estimate`] extended with uncertainty: the HT plug-in variance
+/// estimate and the 95% normal-approximation confidence interval.
+///
+/// Produced by [`Query::evaluate_with_variance`] and by batched execution
+/// ([`crate::plan::QueryBatch`]). `value` and `observed_keys` are
+/// bit-identical to what [`Query::evaluate`] returns for the same query —
+/// the variance is an additional read of the same per-key support, not a
+/// different estimator.
+///
+/// `variance`/`ci95` are `None` when the estimator carries no per-key
+/// inclusion probabilities: dispersed L1 (a difference of correlated max/min
+/// estimators) and ratio-shaped aggregates (average, Jaccard — a quotient of
+/// two unbiased estimates has no unbiased variance estimate of this form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReport {
+    /// The unbiased estimate of `Σ_{i : filter(i)} f(i)`.
+    pub value: f64,
+    /// Number of sampled keys that contributed to the estimate.
+    pub observed_keys: usize,
+    /// The HT plug-in estimate of `VAR[value]`
+    /// (`Σ f(i)²(1/p(i) − 1)/p(i)` over contributing keys), when available.
+    pub variance: Option<f64>,
+    /// `value ± `[`Z_95`]`·√variance`, when the variance is available.
+    pub ci95: Option<ConfidenceInterval>,
+}
+
+impl EstimateReport {
+    /// The plain [`Estimate`] part of the report.
+    #[must_use]
+    pub fn estimate(&self) -> Estimate {
+        Estimate { value: self.value, observed_keys: self.observed_keys }
+    }
+}
+
+/// Folds an adjusted-weight summary into an [`EstimateReport`]: the filtered
+/// total, the contributing-key count and (when `with_variance` and the
+/// summary retains support) the plug-in variance, checking `deadline` every
+/// `stride` folded keys.
+///
+/// This is the single fold implementation behind [`Query::evaluate`],
+/// [`Query::evaluate_with_variance`] and the batch executor — the `value`
+/// accumulator sees the same f64 additions in the same order in every mode,
+/// which is what makes the three bit-identical.
+pub(crate) fn fold_report(
+    adjusted: &AdjustedWeights,
+    filter: Option<&dyn Fn(Key) -> bool>,
+    deadline: Option<&Deadline>,
+    stride: usize,
+    with_variance: bool,
+) -> Result<EstimateReport> {
+    debug_assert!(stride > 0, "stride must be validated before folding");
+    let check = |deadline: Option<&Deadline>| match deadline {
+        Some(armed) => armed.check("query"),
+        None => Ok(()),
+    };
+    let (value, observed_keys, variance) = match filter {
+        Some(predicate) => {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            let supported = if with_variance { adjusted.supported_iter() } else { None };
+            match supported {
+                Some(iter) => {
+                    let mut variance = 0.0;
+                    for (index, (key, weight, selected)) in iter.enumerate() {
+                        if index % stride == 0 {
+                            check(deadline)?;
+                        }
+                        if predicate(key) {
+                            total += weight;
+                            variance += ht_variance_component(selected.value, selected.probability);
+                            count += 1;
+                        }
+                    }
+                    (total, count, Some(variance))
+                }
+                None => {
+                    for (index, (key, weight)) in adjusted.iter().enumerate() {
+                        if index % stride == 0 {
+                            check(deadline)?;
+                        }
+                        if predicate(key) {
+                            total += weight;
+                            count += 1;
+                        }
+                    }
+                    (total, count, None)
+                }
+            }
+        }
+        None => {
+            let variance = if with_variance { adjusted.variance_total() } else { None };
+            (adjusted.total(), adjusted.len(), variance)
+        }
+    };
+    let ci95 = variance.map(|v| normal_ci(value, v, Z_95));
+    Ok(EstimateReport { value, observed_keys, variance, ci95 })
 }
 
 /// A declarative aggregate query, evaluated uniformly against colocated and
@@ -62,6 +185,7 @@ pub struct Query {
     selection: SelectionKind,
     filter: Option<Box<dyn Fn(Key) -> bool>>,
     deadline: Option<Duration>,
+    check_stride: usize,
 }
 
 impl fmt::Debug for Query {
@@ -71,17 +195,20 @@ impl fmt::Debug for Query {
             .field("selection", &self.selection)
             .field("filter", &self.filter.as_ref().map(|_| "<predicate>"))
             .field("deadline", &self.deadline)
+            .field("check_stride", &self.check_stride)
             .finish()
     }
 }
 
 impl Query {
-    /// How many filtered keys are folded between wall-clock deadline
-    /// checks during [`Query::evaluate`].
-    const DEADLINE_CHECK_STRIDE: usize = 1024;
-
     fn new(aggregate: AggregateFn) -> Self {
-        Self { aggregate, selection: SelectionKind::LSet, filter: None, deadline: None }
+        Self {
+            aggregate,
+            selection: SelectionKind::LSet,
+            filter: None,
+            deadline: None,
+            check_stride: DEADLINE_CHECK_STRIDE,
+        }
     }
 
     /// The single-assignment sum `Σ w^(b)(i)`.
@@ -136,15 +263,27 @@ impl Query {
 
     /// Bounds how long one [`Query::evaluate`] call may run. The deadline
     /// is armed afresh at each evaluation and checked at chunk boundaries
-    /// (before estimation, after adjusted weights, and every 1024 folded
-    /// keys), so a slow
-    /// multi-query pass returns a typed
-    /// [`CwsError`](cws_core::CwsError)`::DeadlineExceeded` — never a hung
+    /// (before estimation, after adjusted weights, and every
+    /// [`DEADLINE_CHECK_STRIDE`] folded keys — see
+    /// [`Query::deadline_check_stride`]), so a slow multi-query pass
+    /// returns a typed
+    /// [`CwsError`]`::DeadlineExceeded` — never a hung
     /// caller — and leaves the summary untouched: the same query (or any
     /// other) can be evaluated again immediately.
     #[must_use]
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides how many folded keys pass between deadline checks
+    /// (default [`DEADLINE_CHECK_STRIDE`]). Only meaningful together with
+    /// [`Query::with_deadline`]; a stride of `0` is rejected with a typed
+    /// [`CwsError`]`::InvalidParameter` at evaluation
+    /// time (builder methods stay infallible).
+    #[must_use]
+    pub fn deadline_check_stride(mut self, stride: usize) -> Self {
+        self.check_stride = stride;
         self
     }
 
@@ -189,36 +328,38 @@ impl Query {
     ///
     /// # Errors
     /// As [`Query::adjusted_weights`]; additionally
-    /// [`CwsError`](cws_core::CwsError)`::DeadlineExceeded` once an armed
+    /// [`CwsError`]`::DeadlineExceeded` once an armed
     /// [deadline](Query::with_deadline) expires (checked at chunk
-    /// boundaries; the summary is untouched and stays queryable).
+    /// boundaries; the summary is untouched and stays queryable), and
+    /// `InvalidParameter` for a zero
+    /// [check stride](Query::deadline_check_stride).
     pub fn evaluate(&self, summary: &Summary) -> Result<Estimate> {
+        self.evaluate_report(summary, false).map(|report| report.estimate())
+    }
+
+    /// [`Query::evaluate`], additionally reporting the HT plug-in variance
+    /// estimate and the 95% confidence interval when the estimator supports
+    /// them (see [`EstimateReport`] for when it does not). The `value` and
+    /// `observed_keys` fields are bit-identical to [`Query::evaluate`] —
+    /// this is an opt-in richer return shape, not a different estimator.
+    ///
+    /// # Errors
+    /// As [`Query::evaluate`].
+    pub fn evaluate_with_variance(&self, summary: &Summary) -> Result<EstimateReport> {
+        self.evaluate_report(summary, true)
+    }
+
+    fn evaluate_report(&self, summary: &Summary, with_variance: bool) -> Result<EstimateReport> {
+        let stride = validate_stride(self.check_stride)?;
         let deadline = self.deadline.map(Deadline::after);
-        let check = |deadline: &Option<Deadline>| match deadline {
-            Some(armed) => armed.check("query"),
-            None => Ok(()),
-        };
-        check(&deadline)?;
+        if let Some(armed) = &deadline {
+            armed.check("query")?;
+        }
         let adjusted = self.adjusted_weights(summary)?;
-        check(&deadline)?;
-        let (value, observed_keys) = match &self.filter {
-            Some(predicate) => {
-                let mut total = 0.0;
-                let mut count = 0usize;
-                for (index, (key, weight)) in adjusted.iter().enumerate() {
-                    if index % Self::DEADLINE_CHECK_STRIDE == 0 {
-                        check(&deadline)?;
-                    }
-                    if predicate(key) {
-                        total += weight;
-                        count += 1;
-                    }
-                }
-                (total, count)
-            }
-            None => (adjusted.total(), adjusted.len()),
-        };
-        Ok(Estimate { value, observed_keys })
+        if let Some(armed) = &deadline {
+            armed.check("query")?;
+        }
+        fold_report(&adjusted, self.filter.as_deref(), deadline.as_ref(), stride, with_variance)
     }
 }
 
@@ -351,5 +492,57 @@ mod tests {
         let text = format!("{:?}", Query::l1([0, 2]).filter(|_| true));
         assert!(text.contains("L1"), "{text}");
         assert!(text.contains("predicate"), "{text}");
+    }
+
+    #[test]
+    fn evaluate_with_variance_matches_evaluate_bitwise() {
+        let (colocated, dispersed) = summaries(60, 21);
+        let queries = [
+            Query::single(0),
+            Query::single(1).filter(|key| key % 3 == 0),
+            Query::max([0, 1, 2]),
+            Query::min([0, 2]).filter(|key| key % 2 == 1),
+        ];
+        for summary in [&colocated, &dispersed] {
+            for query in &queries {
+                let plain = summary.query(query).unwrap();
+                let report = query.evaluate_with_variance(summary).unwrap();
+                assert_eq!(plain.value.to_bits(), report.value.to_bits());
+                assert_eq!(plain.observed_keys, report.observed_keys);
+                // Sum / max / min estimators carry support on both layouts.
+                let variance = report.variance.unwrap();
+                assert!(variance >= 0.0 && variance.is_finite());
+                let ci = report.ci95.unwrap();
+                assert!(ci.covers(report.value));
+                assert!((ci.half_width() - cws_core::Z_95 * variance.sqrt()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dispersed_l1_reports_no_variance() {
+        // Dispersed L1 is a difference of correlated max/min estimators; no
+        // per-key inclusion probability survives, so variance is None while
+        // the colocated layout (one shared probability per record) keeps it.
+        let (colocated, dispersed) = summaries(40, 23);
+        let query = Query::l1([0, 2]);
+        let report = query.evaluate_with_variance(&dispersed).unwrap();
+        assert!(report.variance.is_none() && report.ci95.is_none());
+        let report = query.evaluate_with_variance(&colocated).unwrap();
+        assert!(report.variance.is_some() && report.ci95.is_some());
+    }
+
+    #[test]
+    fn zero_check_stride_is_a_typed_error() {
+        let (colocated, _) = summaries(20, 25);
+        let query = Query::single(0).deadline_check_stride(0);
+        assert!(matches!(
+            query.evaluate(&colocated),
+            Err(CwsError::InvalidParameter { name: "deadline_check_stride", .. })
+        ));
+        // A custom positive stride changes nothing about the result.
+        let narrow = Query::single(0).filter(|key| key % 2 == 0).deadline_check_stride(1);
+        let default = Query::single(0).filter(|key| key % 2 == 0);
+        assert_eq!(narrow.evaluate(&colocated).unwrap(), default.evaluate(&colocated).unwrap());
     }
 }

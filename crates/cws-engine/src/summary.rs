@@ -7,7 +7,8 @@ use cws_core::codec::{self, DecodedSummary};
 use cws_core::summary::{ColocatedSummary, DispersedSummary, SummaryConfig};
 use cws_core::{CoordinationMode, RankFamily, Result};
 
-use crate::query::{Estimate, Query};
+use crate::plan::QueryBatch;
+use crate::query::{Estimate, EstimateReport, Query};
 
 /// A finalized coordinated summary in either of the paper's two layouts.
 ///
@@ -102,6 +103,16 @@ impl Summary {
     /// As [`Query::evaluate`].
     pub fn query(&self, query: &Query) -> Result<Estimate> {
         query.evaluate(self)
+    }
+
+    /// Plans and executes a [`QueryBatch`] against this summary: every spec
+    /// group shares one summary pass, and results come back in input order
+    /// with variance / 95% CI where the estimator supports them.
+    ///
+    /// # Errors
+    /// As [`QueryBatch::execute`].
+    pub fn query_batch(&self, batch: &QueryBatch) -> Result<Vec<EstimateReport>> {
+        batch.execute(self)
     }
 
     /// Serializes the summary in the versioned binary format of

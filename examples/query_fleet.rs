@@ -1,0 +1,131 @@
+//! A fleet of query threads serving batched estimates — with confidence
+//! intervals — from one published snapshot of an `EpochedPipeline`.
+//!
+//! The serving pattern this demonstrates:
+//!
+//! 1. Ingestion runs continuously; `publish()` closes an epoch into an
+//!    immutable `Arc<Summary>` snapshot.
+//! 2. Every serving thread clones the `Arc` from `latest()` once and then
+//!    answers its whole workload from that snapshot — no locks, no
+//!    coordination with ingestion, and all threads agree on the epoch.
+//! 3. Each thread submits its queries as one `QueryBatch`: the planner
+//!    groups specs that can share a summary pass (here: every lane sum and
+//!    count over assignment 0 collapses into one kernel), the batch runs
+//!    under a deadline, and each result carries the HT plug-in variance and
+//!    a 95% confidence interval where the estimator supports them.
+//!
+//! Run with: `cargo run --release --example query_fleet`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use coordinated_sampling::prelude::*;
+
+/// Serving threads, each responsible for a slice of the segments.
+const THREADS: usize = 4;
+/// Customer segments; segment of a key is `key % SEGMENTS`.
+const SEGMENTS: usize = 8;
+
+fn main() {
+    // Continuous ingestion: two weight assignments (think: bytes today and
+    // bytes yesterday), colocated layout so sums and counts come back with
+    // confidence intervals.
+    let mut pipeline = EpochedPipeline::new(
+        Pipeline::builder()
+            .assignments(2)
+            .k(512)
+            .rank(RankFamily::Ipps)
+            .coordination(CoordinationMode::SharedSeed)
+            .layout(Layout::Colocated)
+            .aggregation(Aggregation::SumByKey)
+            .seed(2009),
+    )
+    .expect("valid configuration");
+
+    let data = correlated_zipf(60_000, 2, 1.1, 0.85, 0.15, 0xF1EE7);
+    for (key, weights) in data.iter() {
+        for (assignment, &weight) in weights.iter().enumerate() {
+            if weight > 0.0 {
+                pipeline.push_element(key, assignment, weight).expect("valid element");
+            }
+        }
+    }
+    let report = pipeline.publish().expect("sequential ingestion cannot fail");
+    println!(
+        "epoch {} published: {} records -> snapshot of {} distinct keys\n",
+        report.epoch,
+        report.records,
+        report.summary.num_distinct_keys()
+    );
+
+    // One immutable snapshot serves the whole fleet. Cloning the `Arc` is
+    // the only synchronization the threads ever need.
+    let snapshot = pipeline.latest().expect("an epoch was published");
+
+    let outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let snapshot = Arc::clone(&snapshot);
+                scope.spawn(move || serve(worker, &snapshot))
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("no panic")).collect::<Vec<_>>()
+    });
+    for output in outputs {
+        print!("{output}");
+    }
+
+    // Ingestion was never blocked: the next epoch keeps absorbing elements
+    // while the fleet reads the previous snapshot.
+    pipeline.push_element(1, 0, 42.0).expect("valid element");
+    println!("ingestion continued into epoch {} while the fleet served", report.epoch + 1);
+}
+
+/// One serving thread: batches this worker's segment queries, executes them
+/// under a deadline against the shared snapshot, formats estimates ± CI.
+fn serve(worker: usize, snapshot: &Summary) -> String {
+    // Each worker owns the segments congruent to it modulo THREADS. Per
+    // segment it asks for today's total volume and the number of active
+    // keys — all the sums and counts share assignment 0, so the planner
+    // serves the entire batch from one summary pass.
+    let segments: Vec<usize> = (0..SEGMENTS).filter(|s| s % THREADS == worker).collect();
+    let mut batch = QueryBatch::new()
+        .with_deadline(Duration::from_secs(5))
+        .push(QuerySpec::sum(0))
+        .push(QuerySpec::jaccard(0, 1));
+    for &segment in &segments {
+        let in_segment = move |key: Key| key as usize % SEGMENTS == segment;
+        batch = batch
+            .push(QuerySpec::sum(0).filter(in_segment))
+            .push(QuerySpec::count(0).filter(in_segment));
+    }
+    let plan = batch.plan().expect("valid specs");
+    let reports = batch.execute(snapshot).expect("snapshot query within deadline");
+
+    let mut out = format!(
+        "worker {worker}: {} queries in {} shared passes\n",
+        plan.num_specs(),
+        plan.num_kernels()
+    );
+    out.push_str(&format!(
+        "  total volume       {}\n  jaccard(0, 1)      {}\n",
+        fmt_report(&reports[0]),
+        fmt_report(&reports[1])
+    ));
+    for (i, &segment) in segments.iter().enumerate() {
+        out.push_str(&format!(
+            "  segment {segment}: volume {} | active keys {}\n",
+            fmt_report(&reports[2 + 2 * i]),
+            fmt_report(&reports[3 + 2 * i])
+        ));
+    }
+    out
+}
+
+/// `value ± half-width` when the 95% CI is available, bare value otherwise.
+fn fmt_report(report: &EstimateReport) -> String {
+    match report.ci95 {
+        Some(ci) => format!("{:.1} ± {:.1}", report.value, ci.half_width()),
+        None => format!("{:.3} (ratio estimate: no CI)", report.value),
+    }
+}

@@ -1,0 +1,312 @@
+//! Batch execution is the same estimator, faster: every `QueryBatch` result
+//! must be **bit-identical** to evaluating the equivalent `Query` on its
+//! own — across layouts, selections, predicates and assignment pairs — and
+//! the surfaced confidence intervals must actually cover at their nominal
+//! rate over seeded trials.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{case_rng, mean_and_std};
+use coordinated_sampling::core::estimate::adjusted::AdjustedWeights;
+use coordinated_sampling::core::CwsError;
+use coordinated_sampling::hash::RandomSource;
+use coordinated_sampling::prelude::*;
+
+type Pred = fn(Key) -> bool;
+
+/// The predicate grid shared by batch specs and sequential queries.
+fn predicates() -> [Option<Pred>; 3] {
+    [None, Some(|key| key % 2 == 0), Some(|key| key % 5 == 1)]
+}
+
+fn fixture(keys: u64, salt: u64) -> MultiWeighted {
+    let mut rng = case_rng("planner_parity_fixture", salt);
+    let mut builder = MultiWeighted::builder(3);
+    for key in 0..keys {
+        for b in 0..3 {
+            let weight = match rng.next_below(3) {
+                0 => 0.0,
+                1 => 0.01 + rng.next_unit() * 10.0,
+                _ => 10.0 + rng.next_unit() * 1000.0,
+            };
+            builder.add(key, b, weight);
+        }
+    }
+    builder.build()
+}
+
+fn summaries(keys: u64, salt: u64, k: usize) -> (Summary, Summary) {
+    let data = fixture(keys, salt);
+    let config =
+        SummaryConfig::new(k, RankFamily::Ipps, CoordinationMode::SharedSeed, 0xC0DE + salt);
+    (
+        Summary::Colocated(ColocatedSummary::build(&data, &config)),
+        Summary::Dispersed(DispersedSummary::build(&data, &config)),
+    )
+}
+
+/// Builds the sequential `Query` equivalent of a spec shape.
+fn sequential_query(
+    aggregate: &AggregateSpec,
+    selection: SelectionKind,
+    predicate: Option<Pred>,
+) -> Option<Query> {
+    let query = match *aggregate {
+        AggregateSpec::Sum { assignment } => Query::single(assignment),
+        AggregateSpec::Max { pair } => Query::max([pair.0, pair.1]),
+        AggregateSpec::Min { pair } => Query::min([pair.0, pair.1]),
+        AggregateSpec::L1 { pair } => Query::l1([pair.0, pair.1]),
+        // Count / Avg / Jaccard have no single-`Query` equivalent; their
+        // parity is pinned against the adjusted-weight formulas below.
+        AggregateSpec::Count { .. } | AggregateSpec::Avg { .. } | AggregateSpec::Jaccard { .. } => {
+            return None;
+        }
+    };
+    let query = query.selection(selection);
+    Some(match predicate {
+        Some(p) => query.filter(p),
+        None => query,
+    })
+}
+
+#[test]
+fn batch_is_bit_identical_to_sequential_queries() {
+    for case in 0..6u64 {
+        let mut rng = case_rng("planner_parity_cases", case);
+        let keys = 100 + rng.next_below(400);
+        let k = 8 + rng.next_below(48) as usize;
+        let (colocated, dispersed) = summaries(keys, case, k);
+        for summary in [&colocated, &dispersed] {
+            for selection in [SelectionKind::SSet, SelectionKind::LSet] {
+                let shapes = [
+                    AggregateSpec::Sum { assignment: 0 },
+                    AggregateSpec::Sum { assignment: 2 },
+                    AggregateSpec::Max { pair: (0, 1) },
+                    AggregateSpec::Min { pair: (0, 1) },
+                    AggregateSpec::Min { pair: (1, 2) },
+                    AggregateSpec::L1 { pair: (0, 2) },
+                ];
+                let mut batch = QueryBatch::new();
+                let mut expected = Vec::new();
+                for aggregate in shapes {
+                    for predicate in predicates() {
+                        let mut spec = match aggregate {
+                            AggregateSpec::Sum { assignment } => QuerySpec::sum(assignment),
+                            AggregateSpec::Max { pair } => QuerySpec::max(pair.0, pair.1),
+                            AggregateSpec::Min { pair } => QuerySpec::min(pair.0, pair.1),
+                            AggregateSpec::L1 { pair } => QuerySpec::l1(pair.0, pair.1),
+                            _ => unreachable!(),
+                        }
+                        .selection(selection);
+                        if let Some(p) = predicate {
+                            spec = spec.filter(p);
+                        }
+                        batch = batch.push(spec);
+                        expected.push(sequential_query(&aggregate, selection, predicate).unwrap());
+                    }
+                }
+                let reports = summary.query_batch(&batch).unwrap();
+                assert_eq!(reports.len(), expected.len());
+                for (report, query) in reports.iter().zip(&expected) {
+                    let solo = query.evaluate(summary).unwrap();
+                    assert_eq!(
+                        report.value.to_bits(),
+                        solo.value.to_bits(),
+                        "case {case}: batch {report:?} vs solo {solo:?} for {query:?}"
+                    );
+                    assert_eq!(report.observed_keys, solo.observed_keys);
+                    // The richer solo path agrees bit-for-bit too, including
+                    // variance availability and the interval endpoints.
+                    let rich = query.evaluate_with_variance(summary).unwrap();
+                    assert_eq!(report.variance.map(f64::to_bits), rich.variance.map(f64::to_bits));
+                    assert_eq!(
+                        report.ci95.map(|ci| (ci.lower.to_bits(), ci.upper.to_bits())),
+                        rich.ci95.map(|ci| (ci.lower.to_bits(), ci.upper.to_bits()))
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn count_avg_jaccard_match_the_adjusted_weight_formulas() {
+    for case in 0..4u64 {
+        let (colocated, dispersed) = summaries(300, 40 + case, 32);
+        for summary in [&colocated, &dispersed] {
+            for predicate in predicates() {
+                let always: Pred = |_| true;
+                let pred = predicate.unwrap_or(always);
+                let mut batch = QueryBatch::new()
+                    .push(QuerySpec::count(1))
+                    .push(QuerySpec::avg(1))
+                    .push(QuerySpec::jaccard(0, 1));
+                if let Some(p) = predicate {
+                    batch = QueryBatch::new()
+                        .push(QuerySpec::count(1).filter(p))
+                        .push(QuerySpec::avg(1).filter(p))
+                        .push(QuerySpec::jaccard(0, 1).filter(p));
+                }
+                let reports = summary.query_batch(&batch).unwrap();
+
+                let single: AdjustedWeights = Query::single(1).adjusted_weights(summary).unwrap();
+                let (count, count_var) = single.subset_count(pred).unwrap();
+                assert_eq!(reports[0].value.to_bits(), count.to_bits());
+                assert_eq!(reports[0].variance.unwrap().to_bits(), count_var.to_bits());
+
+                let sum = single.subset_total(pred);
+                let avg = if count == 0.0 { 0.0 } else { sum / count };
+                assert_eq!(reports[1].value.to_bits(), avg.to_bits());
+                assert!(reports[1].variance.is_none() && reports[1].ci95.is_none());
+
+                let min_total =
+                    Query::min([0, 1]).adjusted_weights(summary).unwrap().subset_total(pred);
+                let max_total =
+                    Query::max([0, 1]).adjusted_weights(summary).unwrap().subset_total(pred);
+                let jaccard = if max_total == 0.0 { 0.0 } else { min_total / max_total };
+                assert_eq!(reports[2].value.to_bits(), jaccard.to_bits());
+                assert!(reports[2].variance.is_none());
+                assert!(reports[2].value >= 0.0 && reports[2].value <= 1.0 + 1e-9);
+            }
+        }
+    }
+}
+
+/// Empirical 95% CI coverage over seeded trials, on both layouts: the
+/// interval must cover the exact subpopulation sum at close to the nominal
+/// rate, and the mean of the variance estimates must track the empirical
+/// variance of the estimates (the unbiasedness-harness check applied to the
+/// variance estimator itself).
+#[test]
+fn ci_coverage_is_close_to_nominal() {
+    let data = fixture(500, 777);
+    let pred: Pred = |key| key % 2 == 0;
+    let exact = exact_aggregate(&data, &AggregateFn::SingleAssignment(0), pred);
+    for layout in ["colocated", "dispersed"] {
+        let trials = 300u64;
+        let mut covered = 0usize;
+        let mut estimates = Vec::new();
+        let mut variance_estimates = Vec::new();
+        for trial in 0..trials {
+            let config = SummaryConfig::new(
+                96,
+                RankFamily::Ipps,
+                CoordinationMode::SharedSeed,
+                9_000 + trial,
+            );
+            let summary = match layout {
+                "colocated" => Summary::Colocated(ColocatedSummary::build(&data, &config)),
+                _ => Summary::Dispersed(DispersedSummary::build(&data, &config)),
+            };
+            let reports = summary
+                .query_batch(&QueryBatch::new().push(QuerySpec::sum(0).filter(pred)))
+                .unwrap();
+            let report = reports[0];
+            estimates.push(report.value);
+            variance_estimates.push(report.variance.unwrap());
+            if report.ci95.unwrap().covers(exact) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(
+            (0.85..=1.0).contains(&coverage),
+            "{layout}: 95% CI covered the exact value in {coverage:.3} of trials"
+        );
+        // The mean variance estimate should approximate the true estimator
+        // variance (estimated empirically across trials).
+        let (_, std) = mean_and_std(&estimates);
+        let empirical_variance = std * std;
+        let mean_variance =
+            variance_estimates.iter().sum::<f64>() / variance_estimates.len() as f64;
+        assert!(
+            mean_variance > 0.4 * empirical_variance && mean_variance < 2.5 * empirical_variance,
+            "{layout}: mean variance estimate {mean_variance} vs empirical {empirical_variance}"
+        );
+    }
+}
+
+#[test]
+fn invalid_specs_and_deadlines_are_typed_and_poison_nothing() {
+    let (colocated, dispersed) = summaries(200, 99, 24);
+    for summary in [&colocated, &dispersed] {
+        // Degenerate pair: typed InvalidParameter at plan time.
+        let degenerate = QueryBatch::new().push(QuerySpec::jaccard(1, 1));
+        assert!(matches!(
+            summary.query_batch(&degenerate),
+            Err(CwsError::InvalidParameter { name: "assignment_pair", .. })
+        ));
+        // Out-of-range assignment: summary-dependent, typed at execution.
+        let out_of_range = QueryBatch::new().push(QuerySpec::sum(7));
+        assert!(matches!(
+            summary.query_batch(&out_of_range),
+            Err(CwsError::AssignmentOutOfRange { index: 7, .. })
+        ));
+        // Zero stride: typed InvalidParameter.
+        let zero_stride = QueryBatch::new().push(QuerySpec::sum(0)).deadline_check_stride(0);
+        assert!(matches!(
+            summary.query_batch(&zero_stride),
+            Err(CwsError::InvalidParameter { name: "deadline_check_stride", .. })
+        ));
+        // Expired deadline: typed, and poisons nothing — the same batch
+        // with a generous deadline matches the undeadlined run bit-for-bit.
+        let specs = || {
+            [
+                QuerySpec::sum(0).filter(|key: Key| key % 2 == 0),
+                QuerySpec::max(0, 1),
+                QuerySpec::jaccard(0, 2),
+            ]
+        };
+        let expired = QueryBatch::new().extend(specs()).with_deadline(Duration::ZERO);
+        assert!(matches!(
+            summary.query_batch(&expired),
+            Err(CwsError::DeadlineExceeded { op: "query_batch", budget_ms: 0 })
+        ));
+        let generous = QueryBatch::new()
+            .extend(specs())
+            .with_deadline(Duration::from_secs(3600))
+            .deadline_check_stride(64);
+        let plain = QueryBatch::new().extend(specs());
+        let deadlined = summary.query_batch(&generous).unwrap();
+        let undeadlined = summary.query_batch(&plain).unwrap();
+        for (a, b) in deadlined.iter().zip(&undeadlined) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.variance.map(f64::to_bits), b.variance.map(f64::to_bits));
+        }
+    }
+    // An empty batch is a no-op, not an error.
+    assert_eq!(colocated.query_batch(&QueryBatch::new()).unwrap().len(), 0);
+}
+
+/// The 64-query fleet shape from the bench and the `query-stress` CI job:
+/// 64 sum queries sharing one kernel, distinct predicates, under a
+/// deadline. One kernel pass must serve all of them.
+#[test]
+fn fleet_batch_shares_one_kernel_and_meets_its_deadline() {
+    let (colocated, dispersed) = summaries(2_000, 4242, 256);
+    let batch = (0..64u64)
+        .map(|lane| QuerySpec::sum(0).filter(move |key: Key| key % 64 == lane))
+        .collect::<QueryBatch>()
+        .with_deadline(Duration::from_secs(30));
+    assert_eq!(batch.plan().unwrap().num_kernels(), 1);
+    assert_eq!(batch.plan().unwrap().num_specs(), 64);
+    for summary in [&colocated, &dispersed] {
+        let reports = summary.query_batch(&batch).unwrap();
+        assert_eq!(reports.len(), 64);
+        // The 64 lanes partition the population: lane sums add up to the
+        // full-population estimate exactly (same addends, disjoint lanes).
+        let full = summary.query(&Query::single(0)).unwrap();
+        let lane_sum: f64 = reports.iter().map(|r| r.value).sum();
+        assert!((lane_sum - full.value).abs() <= full.value.abs() * 1e-9);
+        for (lane, report) in reports.iter().enumerate() {
+            let solo = Query::single(0)
+                .filter(move |key: Key| key % 64 == lane as u64)
+                .evaluate(summary)
+                .unwrap();
+            assert_eq!(report.value.to_bits(), solo.value.to_bits());
+            assert!(report.ci95.unwrap().covers(report.value));
+        }
+    }
+}
