@@ -1,5 +1,5 @@
 //! Regenerates the ingestion- and query-performance baseline
-//! (`BENCH_pr9.json`).
+//! (`BENCH_pr10.json`).
 //!
 //! Measures the layers of the ingestion hot path — single-assignment push
 //! throughput (scalar and batched), per-assignment hashing vs the hash-once
@@ -16,6 +16,13 @@
 //! (one shared pass), on both summary layouts. The two routes are
 //! bit-identical per query — `tests/planner_parity.rs` pins that — so the
 //! recorded `shared_pass_speedup` is a pure cost comparison.
+//!
+//! Since schema v7 the baseline also quantifies the write-ahead journal:
+//! epoched per-record ingestion with no journal and with a journal under
+//! each fsync policy (`PerBatch`, `EveryN(32)`, `OnRotate`), recording the
+//! per-policy overhead so operators can price the durability knob —
+//! `tests/wal_battery.rs` pins that all three recover bit-exactly, so the
+//! recorded overhead is a pure cost comparison too.
 //!
 //! Usage:
 //!
@@ -109,6 +116,14 @@ struct Baseline {
     /// Per layout ("colocated" / "dispersed"): naive and batched
     /// queries per second for the 64-query lane-sum fleet.
     fleet_queries_per_sec: Vec<(&'static str, f64, f64)>,
+    /// Records in the (smaller) journaled-ingest dataset — fsync-bound
+    /// workloads cannot honestly reuse the full-size one.
+    journal_records: usize,
+    /// Epoched per-record ingestion with no journal, in records per second.
+    unjournaled_records_per_sec: f64,
+    /// Per fsync policy ("per_batch" / "every_n_32" / "on_rotate"):
+    /// journaled records per second.
+    journaled_records_per_sec: Vec<(&'static str, f64)>,
 }
 
 fn run_baseline(quick: bool) -> Baseline {
@@ -191,6 +206,35 @@ fn run_baseline(quick: bool) -> Baseline {
         fleet_queries_per_sec.push((layout, naive_rate, batched_rate));
     }
 
+    // Durability: the journaled dataset is deliberately small (the
+    // interesting policies are fsync-bound, not CPU-bound) and the journal
+    // lands in a scratch directory wiped per run.
+    let journal_records = if quick { 1_000 } else { 4_000 };
+    let journal_data: MultiWeighted = ingestion_dataset(journal_records, ASSIGNMENTS);
+    let journal_dir = std::env::temp_dir().join(format!("cws-bench-wal-{}", std::process::id()));
+    let unjournaled_records_per_sec =
+        measure(journal_records, reps, || workloads::journaled_ingest(&journal_data, config, None));
+    eprintln!(
+        "[ingest_baseline] epoched ingest, no journal: {unjournaled_records_per_sec:.3e} records/s"
+    );
+    let mut journaled_records_per_sec = Vec::new();
+    for (name, policy) in [
+        ("per_batch", cws_engine::SyncPolicy::PerBatch),
+        ("every_n_32", cws_engine::SyncPolicy::EveryN(32)),
+        ("on_rotate", cws_engine::SyncPolicy::OnRotate),
+    ] {
+        let rate = measure(journal_records, reps, || {
+            workloads::journaled_ingest(&journal_data, config, Some((&journal_dir, policy)))
+        });
+        eprintln!(
+            "[ingest_baseline] journaled ingest ({name}): {rate:.3e} records/s \
+             ({:.1}x overhead)",
+            unjournaled_records_per_sec / rate
+        );
+        journaled_records_per_sec.push((name, rate));
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
     let cpu_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     if cpu_parallelism == 1 {
         eprintln!(
@@ -226,6 +270,9 @@ fn run_baseline(quick: bool) -> Baseline {
         sum_by_key_governed_elements_per_sec,
         peak_tracked_bytes,
         fleet_queries_per_sec,
+        journal_records,
+        unjournaled_records_per_sec,
+        journaled_records_per_sec,
     }
 }
 
@@ -241,7 +288,7 @@ fn to_json(b: &Baseline) -> String {
     // `--check` schema guard) and flagged.
     let scaling_claims_valid = b.cpu_parallelism > 1;
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"cws-ingestion-baseline/v6\",\n");
+    out.push_str("  \"schema\": \"cws-ingestion-baseline/v7\",\n");
     out.push_str(
         "  \"generated_by\": \"cargo run --release -p cws-bench --bin ingest_baseline\",\n",
     );
@@ -308,6 +355,23 @@ fn to_json(b: &Baseline) -> String {
             batched_rate / naive_rate
         ));
     }
+    out.push_str("  },\n");
+    out.push_str("  \"durability\": {\n");
+    out.push_str(&format!("    \"journal_records\": {},\n", b.journal_records));
+    out.push_str(&format!(
+        "    \"unjournaled_records_per_sec\": {:.1},\n",
+        b.unjournaled_records_per_sec
+    ));
+    out.push_str("    \"journaled\": [\n");
+    for (i, &(name, rate)) in b.journaled_records_per_sec.iter().enumerate() {
+        let comma = if i + 1 < b.journaled_records_per_sec.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{ \"sync\": \"{name}\", \"records_per_sec\": {rate:.1}, \
+             \"overhead_x\": {:.2} }}{comma}\n",
+            b.unjournaled_records_per_sec / rate
+        ));
+    }
+    out.push_str("    ]\n");
     out.push_str("  },\n");
     out.push_str("  \"sharded\": [\n");
     for (i, &(shards, record_rate, column_rate)) in b.sharded_records_per_sec.iter().enumerate() {

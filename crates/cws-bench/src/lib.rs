@@ -68,7 +68,8 @@ pub mod workloads {
     use cws_core::weights::MultiWeighted;
     use cws_data::synthetic::Element;
     use cws_engine::{
-        Aggregation, Ingest, Layout, Pipeline, Query, QueryBatch, QuerySpec, Summary,
+        Aggregation, EpochedPipeline, Ingest, Layout, Pipeline, Query, QueryBatch, QuerySpec,
+        Summary, SyncPolicy, WalConfig,
     };
     use cws_stream::{
         BottomKStreamSampler, DispersedStreamSampler, MultiAssignmentStreamSampler,
@@ -197,6 +198,39 @@ pub mod workloads {
         }
         let peak = pipeline.peak_tracked_bytes();
         (pipeline.finalize().expect("sequential ingestion cannot fail").num_distinct_keys(), peak)
+    }
+
+    /// Epoched ingestion with an optional write-ahead journal: `data`'s
+    /// records pushed one by one through an [`EpochedPipeline`] (the
+    /// serving shape a journal attaches to), then published in memory.
+    /// With a journal, every record is framed, CRC'd and written to `dir`
+    /// *before* ingestion sees it, under the given [`SyncPolicy`] — the
+    /// baseline records the per-policy overhead against the unjournaled
+    /// run. The directory is wiped first so every call journals into a
+    /// fresh log (no open-time scan of a previous rep's segments).
+    pub fn journaled_ingest(
+        data: &MultiWeighted,
+        config: SummaryConfig,
+        journal: Option<(&std::path::Path, SyncPolicy)>,
+    ) -> usize {
+        let mut builder = Pipeline::builder()
+            .assignments(data.num_assignments())
+            .k(config.k)
+            .rank(config.family)
+            .coordination(config.mode)
+            .layout(Layout::Dispersed)
+            .seed(config.seed);
+        if let Some((dir, policy)) = journal {
+            if dir.exists() {
+                std::fs::remove_dir_all(dir).expect("scratch journal dir is removable");
+            }
+            builder = builder.journal(WalConfig::new(dir).sync(policy));
+        }
+        let mut pipeline = EpochedPipeline::new(builder).expect("valid configuration");
+        for (key, weights) in data.iter() {
+            pipeline.push_record(key, weights).expect("valid weights");
+        }
+        pipeline.publish().expect("publish cannot fail").summary.num_distinct_keys()
     }
 
     /// Queries per fleet batch in the batched-query workload: one

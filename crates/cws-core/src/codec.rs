@@ -86,12 +86,26 @@ pub const MAX_ASSIGNMENTS: u64 = 1 << 20;
 /// stream; the checksum is for corruption detection, not sampling).
 const CHECKSUM_STREAM: u64 = 0x5AAD_EDC0_DEC0_5EA1;
 
+/// Seed of the write-ahead frame checksum stream — distinct from
+/// [`CHECKSUM_STREAM`] so a summary body accidentally spliced into a
+/// journal segment (or vice versa) can never pass verification.
+const FRAME_CHECKSUM_STREAM: u64 = 0x7EA1_0F5E_C0DE_4A0B;
+
 /// The checksum used by the header and body integrity fields: a seeded
 /// 64-bit hash of the covered bytes. Exposed so fixture tooling and tests
 /// can construct or repair encoded streams deliberately.
 #[must_use]
 pub fn checksum(bytes: &[u8]) -> u64 {
     KeyHasher::new(CHECKSUM_STREAM).hash_bytes(bytes)
+}
+
+/// The per-frame CRC of the write-ahead ingestion journal: a seeded 64-bit
+/// hash over one frame's payload, on a hash stream distinct from
+/// [`checksum`]. Torn-tail recovery truncates a journal segment at the
+/// first frame whose stored CRC disagrees with this function.
+#[must_use]
+pub fn frame_checksum(bytes: &[u8]) -> u64 {
+    KeyHasher::new(FRAME_CHECKSUM_STREAM).hash_bytes(bytes)
 }
 
 fn codec_error(kind: CodecErrorKind, offset: u64) -> CwsError {
@@ -750,6 +764,16 @@ mod tests {
             summary_from_bytes(&bytes),
             Err(CwsError::Codec { kind: CodecErrorKind::Invalid { .. }, .. })
         ));
+    }
+
+    #[test]
+    fn frame_checksum_is_a_distinct_stream() {
+        let bytes = b"the same covered bytes";
+        assert_ne!(
+            checksum(bytes),
+            frame_checksum(bytes),
+            "summary and journal-frame checksums must never collide by construction"
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod budget;
 pub mod codec;
 pub mod columns;
 pub mod coordination;
+pub mod durable;
 pub mod error;
 pub mod estimate;
 pub mod fault;

@@ -36,6 +36,22 @@
 //! clears the state. Lost records are *counted, never hidden* — the
 //! recovery route is [`SnapshotStore::recover`](crate::store::SnapshotStore)
 //! plus re-ingesting the failed epoch from its durable source.
+//!
+//! # Write-ahead journaling
+//!
+//! With a journal attached ([`PipelineBuilder::journal`]) the durable
+//! source is the pipeline's own write-ahead log: every push is journaled
+//! *before* it is ingested, tagged with the epoch it will publish under.
+//! [`publish_into`](EpochedPipeline::publish_into) writes an epoch barrier
+//! (always fsynced) before swapping epochs and prunes fully-covered
+//! segments after the snapshot commits; a finalize failure heals itself by
+//! replaying the destroyed epoch's records straight back out of the
+//! journal, reported as [`DegradedState::records_replayable`] instead of
+//! `records_lost`. After a crash,
+//! [`recover_from_store_and_wal`](crate::wal::recover_from_store_and_wal)
+//! restores the whole state — snapshot plus replayed tail — in one call.
+//!
+//! [`PipelineBuilder::journal`]: crate::pipeline::PipelineBuilder::journal
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -51,6 +67,8 @@ use crate::plan::QueryBatch;
 use crate::query::{EstimateReport, Query};
 use crate::store::SnapshotStore;
 use crate::summary::Summary;
+use crate::wal::frame::FramePayload;
+use crate::wal::{Journal, ReplayReport, WalOpenReport};
 
 /// Why (and how badly) the service is serving stale data — the payload of
 /// [`EpochedPipeline::degraded`].
@@ -65,11 +83,19 @@ pub struct DegradedState {
     /// Consecutive failed publishes since the last successful one.
     pub failed_publishes: u64,
     /// Records ingested into epochs whose publish failed — data that is in
-    /// no published snapshot and must be re-ingested from its durable
-    /// source after recovery. Publishes that failed only at the *store*
-    /// layer (snapshot serving succeeded, durability did not) do not add
-    /// here.
+    /// no published snapshot, is **not** in the write-ahead journal, and
+    /// must be re-ingested from an external durable source after recovery.
+    /// Publishes that failed only at the *store* layer (snapshot serving
+    /// succeeded, durability did not) do not add here; neither do records
+    /// a journal still holds (those count as
+    /// [`records_replayable`](Self::records_replayable)).
     pub records_lost: u64,
+    /// Records that are in no durable snapshot but **are** recoverable
+    /// from the write-ahead journal — either already healed back into the
+    /// current epoch (finalize failures) or waiting for
+    /// [`recover_from_store_and_wal`](crate::wal::recover_from_store_and_wal)
+    /// (store-layer failures). Always zero without a journal.
+    pub records_replayable: u64,
 }
 
 /// What [`EpochedPipeline::publish`] returns: the closed epoch's snapshot
@@ -114,17 +140,37 @@ pub struct EpochedPipeline {
     quarantined_past: Option<QuarantinedRecords>,
     /// Peak tracked aggregation bytes across closed epochs.
     peak_bytes_past: u64,
+    /// The write-ahead journal, when one was configured on the builder.
+    pub(crate) journal: Option<Journal>,
+    /// What opening the journal found (torn tails truncated, temps
+    /// removed) — folded into the replay report during recovery.
+    wal_open: Option<WalOpenReport>,
+    /// `true` while records are being replayed *out of* the journal, which
+    /// must not journal them again.
+    replaying: bool,
 }
 
 impl EpochedPipeline {
     /// Builds the first epoch's pipeline from `builder`; the same builder
     /// (same seed — the coordination contract) re-creates every subsequent
-    /// epoch.
+    /// epoch. A configured [`journal`](PipelineBuilder::journal) is opened
+    /// here — torn tails truncated, condemned segments quarantined — and
+    /// every subsequent push is journaled before it is ingested.
     ///
     /// # Errors
-    /// As [`PipelineBuilder::build`].
-    pub fn new(builder: PipelineBuilder) -> Result<Self> {
+    /// As [`PipelineBuilder::build`]; journal opening adds typed
+    /// `InvalidParameter` errors for dead WAL configuration and `Store`
+    /// errors for filesystem failures.
+    pub fn new(mut builder: PipelineBuilder) -> Result<Self> {
+        let wal_config = builder.take_journal();
         let current = builder.clone().build()?;
+        let (journal, wal_open) = match wal_config {
+            Some(config) => {
+                let (journal, report) = Journal::open(config, current.num_assignments())?;
+                (Some(journal), Some(report))
+            }
+            None => (None, None),
+        };
         Ok(Self {
             builder,
             current,
@@ -133,7 +179,22 @@ impl EpochedPipeline {
             degraded: None,
             quarantined_past: None,
             peak_bytes_past: 0,
+            journal,
+            wal_open,
+            replaying: false,
         })
+    }
+
+    /// The attached write-ahead journal, if one was configured.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// What opening the journal found and did, if one was configured.
+    #[must_use]
+    pub fn wal_open_report(&self) -> Option<&WalOpenReport> {
+        self.wal_open.as_ref()
     }
 
     /// The pipeline ingesting the current (unpublished) epoch.
@@ -243,14 +304,17 @@ impl EpochedPipeline {
     /// same-seed pipeline (build failures leave the current epoch's
     /// pipeline in place instead), and [`degraded`](Self::degraded) carries
     /// the typed reason with staleness counters until a publish succeeds.
-    /// A finalize failure (e.g. a sharded worker panic) loses the epoch's
-    /// records — counted in [`DegradedState::records_lost`], recovered by
-    /// re-ingesting from the durable source.
+    /// A finalize failure (e.g. a sharded worker panic) destroys the
+    /// epoch's in-memory records; with a journal attached they are
+    /// immediately replayed back into the fresh pipeline (counted in
+    /// [`DegradedState::records_replayable`] — nothing is lost), without
+    /// one they are counted in [`DegradedState::records_lost`] and must be
+    /// re-ingested from an external durable source.
     pub fn publish(&mut self) -> Result<EpochReport> {
         let replacement = match self.builder.clone().build() {
             Ok(replacement) => replacement,
             Err(error) => {
-                self.mark_degraded(error.clone(), 0);
+                self.mark_degraded(error.clone(), 0, 0);
                 return Err(error);
             }
         };
@@ -263,7 +327,25 @@ impl EpochedPipeline {
         let summary = match outgoing.finalize() {
             Ok(summary) => Arc::new(summary),
             Err(error) => {
-                self.mark_degraded(error.clone(), records);
+                // The epoch's records are gone from memory, but with a
+                // journal they are still on disk tagged `epoch + 1`: replay
+                // them into the fresh pipeline right here. This recovers
+                // even records the dying back-end had already absorbed.
+                if self.journal.is_some() {
+                    match self.self_heal_from_journal() {
+                        Ok(replayed) => self.mark_degraded(error.clone(), 0, replayed),
+                        Err(_) => {
+                            // The journal is now the only copy; make sure
+                            // nothing prunes it before an operator recovers.
+                            if let Some(journal) = self.journal.as_mut() {
+                                journal.suppress_pruning();
+                            }
+                            self.mark_degraded(error.clone(), records, 0);
+                        }
+                    }
+                } else {
+                    self.mark_degraded(error.clone(), records, 0);
+                }
                 return Err(error);
             }
         };
@@ -281,26 +363,172 @@ impl EpochedPipeline {
     /// *store* write fails, the snapshot **was** published in memory
     /// ([`latest`](Self::latest) serves it, no records were lost) but is
     /// not durable; the pipeline is marked degraded with the store's typed
-    /// error so the operator knows durability is behind serving.
+    /// error so the operator knows durability is behind serving. With a
+    /// journal attached the un-stored epoch's records stay replayable
+    /// (pruning is suspended and the count is surfaced as
+    /// [`DegradedState::records_replayable`]);
+    /// [`recover_from_store_and_wal`](crate::wal::recover_from_store_and_wal)
+    /// re-ingests them once the store is healthy again.
     pub fn publish_into(&mut self, store: &mut SnapshotStore) -> Result<EpochReport> {
+        self.journal_barrier()?;
         let report = self.publish()?;
         if let Err(error) = store.publish(report.epoch, &report.summary) {
-            self.mark_degraded(error.clone(), 0);
+            let replayable = if let Some(journal) = self.journal.as_mut() {
+                journal.suppress_pruning();
+                report.records
+            } else {
+                0
+            };
+            self.mark_degraded(error.clone(), 0, replayable);
             return Err(error);
         }
+        self.journal_cover(report.epoch);
         Ok(report)
     }
 
+    /// Writes the pre-publish epoch barrier (always fsynced, always
+    /// rotating) so the sealing epoch's records are durable in sealed
+    /// segments before its snapshot commits.
+    fn journal_barrier(&mut self) -> Result<()> {
+        let sealing = self.epoch + 1;
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(error) = journal.barrier(sealing) {
+                self.mark_degraded(error.clone(), 0, 0);
+                return Err(error);
+            }
+        }
+        Ok(())
+    }
+
+    /// Prunes journal segments fully covered by the snapshot of `epoch`.
+    /// Best-effort: a failed prune keeps the segments listed, so the next
+    /// successful publish retries reclaiming them.
+    fn journal_cover(&mut self, epoch: u64) {
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.mark_covered(epoch);
+        }
+    }
+
     /// Accumulates a failed publish into the degraded state.
-    fn mark_degraded(&mut self, reason: CwsError, records_lost: u64) {
+    pub(crate) fn mark_degraded(
+        &mut self,
+        reason: CwsError,
+        records_lost: u64,
+        records_replayable: u64,
+    ) {
         let state = self.degraded.get_or_insert(DegradedState {
             reason: reason.clone(),
             failed_publishes: 0,
             records_lost: 0,
+            records_replayable: 0,
         });
         state.reason = reason;
         state.failed_publishes += 1;
         state.records_lost += records_lost;
+        state.records_replayable += records_replayable;
+    }
+
+    /// Replays every journaled frame tagged with the **current** window's
+    /// epoch into the (fresh) current pipeline — the in-process half of
+    /// crash recovery, used when a finalize failure destroys the window
+    /// that the journal still holds. Returns how many records were
+    /// re-ingested; per-record rejections (poison the original run also
+    /// rejected) are tolerated, so healing converges to exactly the
+    /// original accept set.
+    fn self_heal_from_journal(&mut self) -> Result<u64> {
+        let frames = match self.journal.as_ref() {
+            Some(journal) => journal.read_frames()?,
+            None => return Ok(0),
+        };
+        let window = self.epoch + 1;
+        self.replaying = true;
+        let mut replayed = 0;
+        for frame in &frames {
+            if frame.epoch() != window {
+                continue;
+            }
+            replayed += self.replay_frame(frame).0;
+        }
+        self.replaying = false;
+        Ok(replayed)
+    }
+
+    /// Replays the journal tail after a restart: every frame whose epoch
+    /// is **not** covered by a durable snapshot is re-ingested through the
+    /// normal `Ingest` path (per record, so rejections match the original
+    /// run exactly); covered frames — segments that simply had not been
+    /// pruned yet — are skipped, never double-ingested.
+    ///
+    /// `stored_epochs` are the snapshot epochs currently on disk
+    /// (ascending). A frame is covered when its epoch is at most the
+    /// resumed epoch **and** that epoch's snapshot exists; a frame whose
+    /// snapshot is missing (store-layer publish failure, quarantined
+    /// corruption) replays — conservative toward re-ingesting, never
+    /// toward losing.
+    pub(crate) fn replay_journal(&mut self, stored_epochs: &[u64]) -> Result<ReplayReport> {
+        let mut report = ReplayReport::default();
+        if let Some(open) = &self.wal_open {
+            report.truncated_bytes = open.truncated_bytes;
+            report.quarantined_segments = open.quarantined_segments;
+            report.removed_temps = open.removed_temps;
+        }
+        let frames = match self.journal.as_ref() {
+            Some(journal) => journal.read_frames()?,
+            None => {
+                return Err(CwsError::InvalidParameter {
+                    name: "journal",
+                    message: "replay needs a journaled pipeline".to_string(),
+                })
+            }
+        };
+        let resumed = self.epoch;
+        self.replaying = true;
+        for frame in &frames {
+            if matches!(frame, FramePayload::Barrier { .. }) {
+                continue;
+            }
+            let epoch = frame.epoch();
+            let covered = epoch <= resumed && stored_epochs.binary_search(&epoch).is_ok();
+            if covered {
+                report.records_skipped += frame.record_count() as u64;
+                continue;
+            }
+            report.frames_replayed += 1;
+            let (accepted, rejected) = self.replay_frame(frame);
+            report.records_replayed += accepted;
+            report.rejected_records += rejected;
+        }
+        self.replaying = false;
+        Ok(report)
+    }
+
+    /// Re-ingests one frame record by record (never through a columnar
+    /// fast path, so a mid-batch rejection cannot double-ingest a prefix).
+    /// Returns `(accepted, rejected)`.
+    fn replay_frame(&mut self, frame: &FramePayload) -> (u64, u64) {
+        let (mut accepted, mut rejected) = (0, 0);
+        match frame {
+            FramePayload::Barrier { .. } => {}
+            FramePayload::Records { keys, weights, .. } => {
+                let stride = self.current.num_assignments();
+                for (index, &key) in keys.iter().enumerate() {
+                    let row = &weights[index * stride..(index + 1) * stride];
+                    match self.current.push_record(key, row) {
+                        Ok(()) => accepted += 1,
+                        Err(_) => rejected += 1,
+                    }
+                }
+            }
+            FramePayload::Elements { items, .. } => {
+                for &(key, assignment, weight) in items {
+                    match self.current.push_element(key, assignment as usize, weight) {
+                        Ok(()) => accepted += 1,
+                        Err(_) => rejected += 1,
+                    }
+                }
+            }
+        }
+        (accepted, rejected)
     }
 
     /// Fault injection into the current epoch's sharded back-end — see
@@ -317,19 +545,35 @@ impl EpochedPipeline {
     }
 
     /// Absorbs one unaggregated element into the current epoch (requires an
-    /// aggregation stage, as on [`Pipeline::push_element`]).
+    /// aggregation stage, as on [`Pipeline::push_element`]), journaling it
+    /// first when a journal is attached.
     ///
     /// # Errors
-    /// As [`Pipeline::push_element`].
+    /// As [`Pipeline::push_element`], plus journal append errors (e.g. a
+    /// typed `BudgetExceeded` when the WAL byte budget is full — the
+    /// element is then neither journaled nor ingested).
     pub fn push_element(&mut self, key: Key, assignment: usize, weight: f64) -> Result<()> {
+        if !self.replaying {
+            let epoch = self.epoch + 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_element(epoch, key, assignment, weight)?;
+            }
+        }
         self.current.push_element(key, assignment, weight)
     }
 
-    /// Absorbs a batch of unaggregated elements into the current epoch.
+    /// Absorbs a batch of unaggregated elements into the current epoch,
+    /// journaling it first when a journal is attached.
     ///
     /// # Errors
-    /// As [`Pipeline::push_elements`].
+    /// As [`Pipeline::push_elements`], plus journal append errors.
     pub fn push_elements(&mut self, elements: &[(Key, usize, f64)]) -> Result<()> {
+        if !self.replaying {
+            let epoch = self.epoch + 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_elements(epoch, elements)?;
+            }
+        }
         self.current.push_elements(elements)
     }
 }
@@ -345,15 +589,36 @@ impl Ingest for EpochedPipeline {
         self.current.processed()
     }
 
+    /// Write-ahead ordering: with a journal attached the record hits disk
+    /// before the sampler sees it, so anything ingestion absorbed is
+    /// replayable.
     fn push_record(&mut self, key: Key, weights: &[f64]) -> Result<()> {
+        if !self.replaying {
+            let epoch = self.epoch + 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_record(epoch, key, weights)?;
+            }
+        }
         self.current.push_record(key, weights)
     }
 
     fn push_columns(&mut self, columns: &RecordColumns) -> Result<()> {
+        if !self.replaying {
+            let epoch = self.epoch + 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_columns(epoch, columns)?;
+            }
+        }
         self.current.push_columns(columns)
     }
 
     fn push_columns_shared(&mut self, columns: &Arc<RecordColumns>) -> Result<()> {
+        if !self.replaying {
+            let epoch = self.epoch + 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_columns(epoch, columns)?;
+            }
+        }
         self.current.push_columns_shared(columns)
     }
 
@@ -442,13 +707,22 @@ impl WindowedPipeline {
     ///
     /// # Errors
     /// As [`EpochedPipeline::publish_into`]; a store-only failure still
-    /// retains the window in the ring.
+    /// retains the window in the ring (and, with a journal, keeps its
+    /// records replayable).
     pub fn roll_into(&mut self, store: &mut SnapshotStore) -> Result<EpochReport> {
+        self.epochs.journal_barrier()?;
         let report = self.roll()?;
         if let Err(error) = store.publish(report.epoch, &report.summary) {
-            self.epochs.mark_degraded(error.clone(), 0);
+            let replayable = if let Some(journal) = self.epochs.journal.as_mut() {
+                journal.suppress_pruning();
+                report.records
+            } else {
+                0
+            };
+            self.epochs.mark_degraded(error.clone(), 0, replayable);
             return Err(error);
         }
+        self.epochs.journal_cover(report.epoch);
         Ok(report)
     }
 

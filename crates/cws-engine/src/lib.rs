@@ -57,6 +57,7 @@ pub mod plan;
 pub mod query;
 pub mod store;
 pub mod summary;
+pub mod wal;
 
 pub use aggregation::{Aggregation, KeyAggregator, QuarantineDrain};
 pub use continuous::{DegradedState, Drift, EpochReport, EpochedPipeline, WindowedPipeline};
@@ -66,6 +67,10 @@ pub use plan::{AggregateSpec, QueryBatch, QueryPlan, QuerySpec};
 pub use query::{Estimate, EstimateReport, Query, DEADLINE_CHECK_STRIDE};
 pub use store::{QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore};
 pub use summary::Summary;
+pub use wal::{
+    recover_from_store_and_wal, DurableRecovery, Journal, ReplayReport, SyncPolicy, WalConfig,
+    WalOpenReport,
+};
 
 /// Commonly used items.
 pub mod prelude {
@@ -81,4 +86,8 @@ pub mod prelude {
         QuarantinedSnapshot, RecoveryReport, ScrubReport, Scrubber, SnapshotStore,
     };
     pub use crate::summary::Summary;
+    pub use crate::wal::{
+        recover_from_store_and_wal, DurableRecovery, Journal, ReplayReport, SyncPolicy, WalConfig,
+        WalOpenReport,
+    };
 }

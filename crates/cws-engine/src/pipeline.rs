@@ -17,6 +17,7 @@ use crate::aggregation::{Aggregation, KeyAggregator};
 use crate::ingest::Ingest;
 use crate::query::EstimateReport;
 use crate::summary::Summary;
+use crate::wal::WalConfig;
 
 /// Which summary layout the pipeline produces (the paper's two models).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,7 @@ pub struct PipelineBuilder {
     deadline: Option<Duration>,
     stall_timeout: Option<Duration>,
     admission: AdmissionControl,
+    journal: Option<WalConfig>,
 }
 
 impl Default for PipelineBuilder {
@@ -97,6 +99,7 @@ impl Default for PipelineBuilder {
             deadline: None,
             stall_timeout: None,
             admission: AdmissionControl::Block,
+            journal: None,
         }
     }
 }
@@ -215,6 +218,31 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a write-ahead ingestion journal: every push is journaled
+    /// (crash-replayable, see [`crate::wal`]) before it is ingested.
+    ///
+    /// Journaling needs the epoch barriers of an
+    /// [`EpochedPipeline`](crate::continuous::EpochedPipeline) or
+    /// [`WindowedPipeline`](crate::continuous::WindowedPipeline); a one-shot
+    /// [`build`](Self::build) with a journal configured is rejected as dead
+    /// configuration.
+    #[must_use]
+    pub fn journal(mut self, config: WalConfig) -> Self {
+        self.journal = Some(config);
+        self
+    }
+
+    /// Detaches the journal configuration (the epoched wrapper owns the
+    /// journal; the inner per-epoch pipelines must build without it).
+    pub(crate) fn take_journal(&mut self) -> Option<WalConfig> {
+        self.journal.take()
+    }
+
+    /// `true` when a journal is configured.
+    pub(crate) fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
     /// Validates the configuration and assembles the pipeline.
     ///
     /// # Errors
@@ -233,8 +261,20 @@ impl PipelineBuilder {
     ///   admission policy is set without sharded execution (equally dead
     ///   configuration);
     /// * a byte or key budget is set without an aggregation stage (only
-    ///   governed stages track usage; deadlines work on any pipeline).
+    ///   governed stages track usage; deadlines work on any pipeline);
+    /// * a [`journal`](Self::journal) is configured — journaling needs the
+    ///   epoch barriers of an
+    ///   [`EpochedPipeline`](crate::continuous::EpochedPipeline), so on a
+    ///   one-shot pipeline it would be dead configuration.
     pub fn build(self) -> Result<Pipeline> {
+        if self.journal.is_some() {
+            return Err(CwsError::InvalidParameter {
+                name: "journal",
+                message: "a write-ahead journal needs epoch barriers; build an EpochedPipeline \
+                          (or WindowedPipeline) instead of a one-shot Pipeline"
+                    .to_string(),
+            });
+        }
         let assignments = self.assignments.ok_or_else(|| CwsError::InvalidParameter {
             name: "assignments",
             message: "the number of weight assignments is required (PipelineBuilder::assignments)"
@@ -787,6 +827,12 @@ mod tests {
         assert!(matches!(
             base().layout(Layout::Dispersed).execution(Execution::Sharded(0)).build(),
             Err(CwsError::InvalidParameter { name: "execution", .. })
+        ));
+        // A journal on a one-shot pipeline is dead configuration: there is
+        // no epoch barrier to ever cover (and so prune) what it writes.
+        assert!(matches!(
+            base().journal(WalConfig::new("/tmp/unused-wal")).build(),
+            Err(CwsError::InvalidParameter { name: "journal", .. })
         ));
         assert!(matches!(
             base().aggregation(Aggregation::SumByKey).flush_threshold(0).build(),

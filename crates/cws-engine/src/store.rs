@@ -55,6 +55,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use cws_core::durable::{atomic_write, fs_error as store_error, sync_dir, TEMP_SUFFIX};
 use cws_core::{CwsError, Result};
 
 use crate::summary::Summary;
@@ -63,8 +64,6 @@ use crate::summary::Summary;
 const EPOCH_PREFIX: &str = "epoch-";
 /// File-name suffix of a committed epoch snapshot.
 const EPOCH_SUFFIX: &str = ".cws";
-/// Suffix of an in-flight (uncommitted) publish.
-const TEMP_SUFFIX: &str = ".tmp";
 /// Suffix a corrupt snapshot is renamed to by recovery.
 const QUARANTINE_SUFFIX: &str = ".quarantined";
 /// Name of the advisory manifest file.
@@ -73,10 +72,6 @@ const MANIFEST_NAME: &str = "MANIFEST";
 /// Width of the zero-padded epoch number in file names: u64::MAX has 20
 /// decimal digits, so lexicographic order equals numeric order.
 const EPOCH_DIGITS: usize = 20;
-
-fn store_error(op: &'static str, path: &Path, error: &std::io::Error) -> CwsError {
-    CwsError::Store { op, path: path.display().to_string(), message: error.to_string() }
-}
 
 /// `<path>.quarantined` — where a condemned snapshot is moved aside.
 fn quarantine_path(path: &Path) -> PathBuf {
@@ -178,9 +173,10 @@ impl SnapshotStore {
         digits.parse().ok()
     }
 
-    /// Durably publishes `summary` as `epoch`'s snapshot: encode to a temp
-    /// file, fsync, rename into place, fsync the directory, refresh the
-    /// manifest and prune epochs beyond the retention bound.
+    /// Durably publishes `summary` as `epoch`'s snapshot through the shared
+    /// [`atomic_write`] sequence (temp file, fsync, rename, directory
+    /// fsync), then refreshes the manifest and prunes epochs beyond the
+    /// retention bound.
     ///
     /// The rename is the commit point — a crash anywhere before it leaves
     /// the previous epoch untouched and only a `.tmp` leftover;
@@ -192,26 +188,7 @@ impl SnapshotStore {
     /// previous complete version — never torn.
     pub fn publish(&mut self, epoch: u64, summary: &Summary) -> Result<PathBuf> {
         let final_path = self.epoch_path(epoch);
-        let temp_path = {
-            let mut name = Self::epoch_file_name(epoch);
-            name.push_str(TEMP_SUFFIX);
-            self.dir.join(name)
-        };
-        let mut file =
-            fs::File::create(&temp_path).map_err(|e| store_error("create", &temp_path, &e))?;
-        let write_result = summary
-            .write_to(&mut file)
-            .and_then(|()| file.sync_all().map_err(|e| store_error("fsync", &temp_path, &e)));
-        if let Err(error) = write_result {
-            // Best-effort cleanup; the leftover is harmless either way
-            // (recover() removes temps).
-            drop(file);
-            let _ = fs::remove_file(&temp_path);
-            return Err(error);
-        }
-        drop(file);
-        fs::rename(&temp_path, &final_path).map_err(|e| store_error("rename", &final_path, &e))?;
-        self.sync_dir()?;
+        atomic_write(&final_path, |file| summary.write_to(file))?;
         self.prune()?;
         self.write_manifest()?;
         Ok(final_path)
@@ -382,31 +359,20 @@ impl SnapshotStore {
         Ok(true)
     }
 
-    /// Rewrites the advisory `MANIFEST` atomically (temp + rename).
+    /// Rewrites the advisory `MANIFEST` through the shared [`atomic_write`]
+    /// sequence.
     fn write_manifest(&self) -> Result<()> {
         let text = self.manifest_text()?;
         let final_path = self.dir.join(MANIFEST_NAME);
-        let temp_path = self.dir.join(format!("{MANIFEST_NAME}{TEMP_SUFFIX}"));
-        let mut file =
-            fs::File::create(&temp_path).map_err(|e| store_error("create", &temp_path, &e))?;
-        file.write_all(text.as_bytes()).map_err(|e| store_error("write", &temp_path, &e))?;
-        file.sync_all().map_err(|e| store_error("fsync", &temp_path, &e))?;
-        drop(file);
-        fs::rename(&temp_path, &final_path).map_err(|e| store_error("rename", &final_path, &e))
+        atomic_write(&final_path, |file| {
+            file.write_all(text.as_bytes()).map_err(|e| store_error("write", &final_path, &e))
+        })
     }
 
-    /// Fsyncs the store directory so renames within it are durable. On
-    /// non-Unix platforms directories cannot be opened for syncing; the
-    /// rename is still atomic, only its durability timing is left to the
-    /// OS.
+    /// Fsyncs the store directory so renames within it are durable — the
+    /// shared [`sync_dir`] helper over this store's directory.
     fn sync_dir(&self) -> Result<()> {
-        #[cfg(unix)]
-        {
-            let dir =
-                fs::File::open(&self.dir).map_err(|e| store_error("open_dir", &self.dir, &e))?;
-            dir.sync_all().map_err(|e| store_error("fsync_dir", &self.dir, &e))?;
-        }
-        Ok(())
+        sync_dir(&self.dir)
     }
 }
 
